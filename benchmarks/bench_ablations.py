@@ -1,0 +1,95 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not from the paper's evaluation — these probe the knobs the FUSION
+design fixes implicitly: ACC lease length, L1X banking, and the oracle
+DMA's double buffering.
+"""
+
+from dataclasses import replace
+
+from repro.common.config import small_config
+from repro.sim.reporting import ExperimentTable
+from repro.sim.simulator import run
+
+BENCH = "filter"   # small, lease-sensitive (Lesson 4's thrash case)
+
+
+def test_ablation_lease_length(benchmark, report, size):
+    """Short leases force renewal misses; long leases stall host
+    forwards (GTIME) — the sweet spot is in the middle."""
+
+    def sweep():
+        table = ExperimentTable(
+            "Ablation lease", "ACC lease length sweep (FUSION, FILT.)",
+            ["Lease", "Cycles", "L0X miss%", "FwdStallCyc"])
+        for lease in (50, 200, 500, 2000, 10000):
+            result = run("FUSION", BENCH, size,
+                         small_config().with_lease(lease))
+            accesses = sum(v for k, v in result.stats.items()
+                           if k.startswith("l0x.axc")
+                           and k.endswith(".accesses"))
+            misses = sum(v for k, v in result.stats.items()
+                         if k.startswith("l0x.axc")
+                         and k.endswith(".misses"))
+            table.add_row(lease, result.accel_cycles,
+                          100.0 * misses / accesses,
+                          result.stat("l1x.fwd_gtime_stall_cycles"))
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(table)
+    miss_rates = [float(row[2]) for row in table.rows]
+    # Longer leases monotonically reduce renewal misses...
+    assert miss_rates[0] > miss_rates[-1]
+    # ...but extreme leases stall the host's forwarded requests longer.
+    stalls = [float(row[3]) for row in table.rows]
+    assert stalls[-1] >= stalls[0]
+
+
+def test_ablation_l1x_banking(benchmark, report, size):
+    """Banking is where the L1X's energy efficiency comes from."""
+
+    def sweep():
+        table = ExperimentTable(
+            "Ablation banking", "L1X bank count (FUSION, FILT.)",
+            ["Banks", "L1X pJ/access", "Total uJ"])
+        for banks in (1, 4, 16):
+            config = small_config()
+            config = replace(config, tile=replace(
+                config.tile, l1x=replace(config.tile.l1x, banks=banks)))
+            result = run("FUSION", BENCH, size, config)
+            accesses = result.stat("l1x.accesses") or 1
+            table.add_row(banks,
+                          result.stat("l1x.energy_pj") / accesses,
+                          result.energy.total_pj / 1e6)
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(table)
+    per_access = [float(row[1]) for row in table.rows]
+    assert per_access[0] > per_access[-1]
+
+
+def test_ablation_dma_double_buffering(benchmark, report, size):
+    """Disabling double buffering doubles the window footprint: fewer,
+    larger transfers, but less halo re-staging."""
+
+    def sweep():
+        table = ExperimentTable(
+            "Ablation dma", "DMA double buffering (SCRATCH, TRACK.)",
+            ["DoubleBuffered", "DMA kB", "#DMA", "Cycles"])
+        for enabled in (True, False):
+            config = small_config()
+            config = replace(config, dma=replace(config.dma,
+                                                 double_buffered=enabled))
+            result = run("SCRATCH", "tracking", size, config)
+            table.add_row(str(enabled), result.dma_kb, result.dma_count,
+                          result.accel_cycles)
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(table)
+    dma_kb = [float(row[1]) for row in table.rows]
+    transfers = [int(row[2]) for row in table.rows]
+    assert transfers[0] > transfers[1]   # double buffering: more windows
+    assert dma_kb[0] >= dma_kb[1]        # ... and more halo re-staging

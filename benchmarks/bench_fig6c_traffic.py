@@ -1,0 +1,23 @@
+"""Figure 6c — link message/data counts per design (Lesson 4)."""
+
+from repro.sim.experiments import figure6_traffic
+
+
+def test_fig6c(benchmark, report, size):
+    table = benchmark.pedantic(figure6_traffic, kwargs={"size": size},
+                               rounds=1, iterations=1)
+    report(table)
+    by_key = {(row[0], row[1]): [int(c) for c in row[2:]]
+              for row in table.rows}
+    for (label, system), (axc_msg, axc_data, l2_msg, l2_data) in \
+            by_key.items():
+        if system == "SCRATCH":
+            # Push-based: no request messages at all, only DMA data on
+            # the host link — the Lesson 4 contrast.
+            assert axc_msg == 0 and axc_data == 0
+            assert l2_data > 0
+        if system == "FUSION":
+            shared_msg = by_key[(label, "SHARED")][0]
+            # The L0X filters the per-access request messages SHARED
+            # pays (paper: 80-83 % filtered).
+            assert axc_msg < 0.55 * shared_msg, label

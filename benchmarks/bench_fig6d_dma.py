@@ -1,0 +1,19 @@
+"""Figure 6d — working set vs oracle-DMA traffic (SCRATCH)."""
+
+from repro.sim.experiments import figure6_dma
+from repro.workloads.registry import LABELS
+
+
+def test_fig6d(benchmark, report, size):
+    table = benchmark.pedantic(figure6_dma, kwargs={"size": size},
+                               rounds=1, iterations=1)
+    report(table)
+    if size != "full":
+        return  # capacity relationships only hold at paper-shaped sizes
+    ratio = {row[0]: float(row[4]) for row in table.rows}
+    # Every benchmark re-stages more data than its working set...
+    assert all(value > 1.0 for value in ratio.values())
+    # ...and FFT is the pathological case (paper: DMA/WSet = 165).
+    assert ratio[LABELS["fft"]] == max(ratio.values())
+    if table.rows and float(table.rows[0][1]) > 10:  # full size only
+        assert ratio[LABELS["fft"]] > 50

@@ -1,0 +1,23 @@
+"""Figure 7 — LARGE (8K/256K) vs SMALL (4K/64K) accelerator caches."""
+
+from repro.sim.experiments import figure7
+from repro.workloads.registry import LABELS
+
+
+def test_fig7(benchmark, report, size):
+    table = benchmark.pedantic(figure7, kwargs={"size": size},
+                               rounds=1, iterations=1)
+    report(table)
+    if size != "full":
+        return  # capacity relationships only hold at paper-shaped sizes
+    energy = {row[0]: float(row[1]) for row in table.rows}
+    misses = {row[0]: float(row[3]) for row in table.rows}
+    # Lesson 7: the small-working-set trio pays the larger L1X's access
+    # energy and gets nothing back.
+    for name in ("adpcm", "susan", "filter"):
+        assert energy[LABELS[name]] > 1.05, name
+        assert misses[LABELS[name]] > 0.95, name
+    # DISP is the one benchmark that newly fits the 256 kB L1X (paper:
+    # 22 % L1X-miss drop); it must see the largest miss reduction.
+    assert misses[LABELS["disparity"]] == min(misses.values())
+    assert misses[LABELS["disparity"]] < 0.8

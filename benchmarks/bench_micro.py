@@ -1,0 +1,53 @@
+"""Microbenchmarks of the simulator's hot paths (true pytest-benchmark
+timing loops — these gate simulator performance regressions)."""
+
+from repro.common.config import small_config
+from repro.common.stats import StatsRegistry
+from repro.common.types import AccessType, MemOp
+from repro.coherence.acc import AccL0XController, AccL1XController
+from repro.coherence.mesi import HostMemorySystem
+from repro.interconnect.link import Link
+from repro.mem.cache import SetAssocCache
+from repro.mem.tlb import PageTable
+
+
+def test_micro_cache_lookup(benchmark):
+    cache = SetAssocCache(small_config().tile.l0x)
+    for i in range(64):
+        cache.insert(i * 64)
+    blocks = [(i % 64) * 64 for i in range(1024)]
+
+    def lookups():
+        for block in blocks:
+            cache.lookup(block)
+
+    benchmark(lookups)
+
+
+def test_micro_acc_hit_path(benchmark):
+    config = small_config()
+    stats = StatsRegistry()
+    mem = HostMemorySystem(config, stats)
+    l1x = AccL1XController(config, mem, PageTable(), stats)
+    mem.tile_agent = l1x
+    l0x = AccL0XController(0, config, l1x, Link("axc_l1x", 0.4, stats),
+                           Link("fwd", 0.1, stats), stats)
+    ops = [MemOp(AccessType.LOAD, (i % 32) * 4) for i in range(512)]
+
+    def accesses():
+        for i, op in enumerate(ops):
+            l0x.access(op, now=i, lease=1_000_000)
+
+    benchmark(accesses)
+
+
+def test_micro_host_load_hit(benchmark):
+    config = small_config()
+    mem = HostMemorySystem(config, StatsRegistry())
+    mem.host_load(0x40)
+
+    def loads():
+        for _ in range(512):
+            mem.host_load(0x40)
+
+    benchmark(loads)

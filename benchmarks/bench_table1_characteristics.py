@@ -1,0 +1,15 @@
+"""Table 1 — accelerator characteristics (%Time, op mix, MLP, %SHR, LT)."""
+
+from repro.sim.experiments import table1
+
+
+def test_table1(benchmark, report, size):
+    table = benchmark.pedantic(table1, kwargs={"size": size},
+                               rounds=1, iterations=1)
+    report(table)
+    # Every benchmark contributes at least two accelerated functions and
+    # the suite-wide average sharing degree is substantial (the paper
+    # reports ~50 %).
+    shr = [float(row[8]) for row in table.rows]
+    assert len(table.rows) >= 14
+    assert sum(shr) / len(shr) > 30.0

@@ -1,0 +1,13 @@
+"""Table 3 — per-function execution metrics on FUSION (KCyc, LT, %En)."""
+
+from repro.sim.experiments import table3
+
+
+def test_table3(benchmark, report, size):
+    table = benchmark.pedantic(table3, kwargs={"size": size},
+                               rounds=1, iterations=1)
+    report(table)
+    # Cache energy dominates compute energy for every benchmark — the
+    # premise of the whole study (Table 3's Cache/Compute column).
+    ratios = {float(row[1]) for row in table.rows}
+    assert all(ratio > 1.0 for ratio in ratios)

@@ -1,0 +1,19 @@
+"""Table 4 — write-through vs writeback bandwidth at the L0X (Lesson 5)."""
+
+from repro.sim.experiments import table4
+from repro.workloads.registry import LABELS
+
+
+def test_table4(benchmark, report, size):
+    table = benchmark.pedantic(table4, kwargs={"size": size},
+                               rounds=1, iterations=1)
+    report(table)
+    if size != "full":
+        return  # capacity relationships only hold at paper-shaped sizes
+    # Write-through must cost more store-traffic flits than write-caching
+    # on every streaming benchmark (the paper's Lesson 5).  FFT's strided
+    # butterflies are the one workload with low per-line store reuse.
+    ratios = {row[0]: float(row[4]) for row in table.rows}
+    losers = [name for name, ratio in ratios.items() if ratio <= 1.0]
+    assert set(losers) <= {LABELS["fft"]}
+    assert sum(1 for r in ratios.values() if r > 1.5) >= 5

@@ -1,0 +1,51 @@
+"""Benchmark-harness infrastructure.
+
+Every bench regenerates one of the paper's tables/figures, times it with
+pytest-benchmark, and registers the rendered table through the
+``report`` fixture; all tables are printed together in the terminal
+summary (so ``pytest benchmarks/ --benchmark-only | tee ...`` captures
+them) and written to ``benchmarks/results/``.
+
+Set ``REPRO_BENCH_SIZE=small`` (or ``tiny``) for a quick pass; the
+default regenerates the full-size evaluation.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+#: Workload size used by every bench.
+SIZE = os.environ.get("REPRO_BENCH_SIZE", "full")
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_TABLES = []
+
+
+@pytest.fixture
+def report():
+    """Collect a rendered ExperimentTable for the terminal summary."""
+
+    def _report(table):
+        _TABLES.append(table)
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        filename = table.exp_id.lower().replace(" ", "") + ".txt"
+        (_RESULTS_DIR / filename).write_text(table.render() + "\n")
+        return table
+
+    return _report
+
+
+@pytest.fixture
+def size():
+    return SIZE
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "regenerated paper tables/figures "
+                                    "(size={})".format(SIZE))
+    for table in _TABLES:
+        terminalreporter.write_line(table.render())
+        terminalreporter.write_line("")

@@ -1,0 +1,69 @@
+"""Compare all four system designs across the full benchmark suite.
+
+A compact reproduction of the Figure 6 story: per-benchmark cycles and
+energy, normalised to the SCRATCH baseline, plus the tile-traffic
+numbers behind them (Lesson 4).
+
+Run with::
+
+    python examples/compare_systems.py [size]
+"""
+
+import sys
+
+from repro import BENCHMARKS, LABELS, run
+
+SYSTEMS = ("SCRATCH", "SHARED", "FUSION", "FUSION-Dx")
+
+
+def main():
+    size = sys.argv[1] if len(sys.argv) > 1 else "small"
+    print("All systems, all benchmarks (size={}), normalised to "
+          "SCRATCH\n".format(size))
+    header = "{:<8s}".format("bench")
+    for system in SYSTEMS:
+        header += " | {:^21s}".format(system)
+    print(header)
+    sub = "{:<8s}".format("")
+    for _ in SYSTEMS:
+        sub += " | {:>9s} {:>11s}".format("cycles", "energy")
+    print(sub)
+    print("-" * len(header))
+
+    geomean_cycles = {system: 1.0 for system in SYSTEMS}
+    geomean_energy = {system: 1.0 for system in SYSTEMS}
+    for benchmark in BENCHMARKS:
+        base = run("SCRATCH", benchmark, size)
+        row = "{:<8s}".format(LABELS[benchmark])
+        for system in SYSTEMS:
+            result = run(system, benchmark, size)
+            cyc = result.accel_cycles / base.accel_cycles
+            erg = result.energy.total_pj / base.energy.total_pj
+            geomean_cycles[system] *= cyc
+            geomean_energy[system] *= erg
+            row += " | {:>8.2f}x {:>10.2f}x".format(cyc, erg)
+        print(row)
+
+    n = len(BENCHMARKS)
+    row = "{:<8s}".format("geomean")
+    for system in SYSTEMS:
+        row += " | {:>8.2f}x {:>10.2f}x".format(
+            geomean_cycles[system] ** (1 / n),
+            geomean_energy[system] ** (1 / n))
+    print(row)
+
+    print("\nTile request messages per benchmark (Lesson 4: the L0X "
+          "filter)")
+    for benchmark in BENCHMARKS:
+        shared = run("SHARED", benchmark, size)
+        fusion = run("FUSION", benchmark, size)
+        filtered = 100 * (1 - fusion.axc_link_msgs
+                          / max(1, shared.axc_link_msgs))
+        print("  {:<8s} SHARED {:>9,d} msgs -> FUSION {:>9,d} "
+              "({:.0f}% filtered)".format(
+                  LABELS[benchmark], shared.axc_link_msgs,
+                  fusion.axc_link_msgs, filtered))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Design-space exploration: cache sizes and lease lengths.
+
+Extends the paper's Figure 7 (SMALL vs LARGE) to a full sweep: L0X size
+x L1X size for the FUSION hierarchy, plus an ACC lease-length sweep —
+the kind of study the simulator exists to make cheap.
+
+Run with::
+
+    python examples/design_space_sweep.py [benchmark] [size]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro import run, small_config
+from repro.common.config import CacheConfig
+from repro.common.units import KB
+
+
+def tile_with(config, l0x_kb, l1x_kb):
+    tile = replace(
+        config.tile,
+        l0x=CacheConfig(l0x_kb * KB, 4, hit_latency=1, timestamp_bits=32),
+        l1x=CacheConfig(l1x_kb * KB, 8, banks=16,
+                        hit_latency=4 + (l1x_kb // 128),
+                        timestamp_bits=32),
+    )
+    return replace(config, tile=tile, name="sweep")
+
+
+def main():
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "disparity"
+    size = sys.argv[2] if len(sys.argv) > 2 else "small"
+    base = small_config()
+
+    print("FUSION cache-size sweep on {} ({})".format(benchmark, size))
+    print("{:>6s} {:>6s} {:>12s} {:>10s} {:>10s}".format(
+        "L0X", "L1X", "cycles", "uJ", "L1X miss%"))
+    for l0x_kb in (2, 4, 8):
+        for l1x_kb in (32, 64, 256):
+            config = tile_with(base, l0x_kb, l1x_kb)
+            result = run("FUSION", benchmark, size, config)
+            accesses = result.stat("l1x.accesses") or 1
+            print("{:>5d}K {:>5d}K {:>12,d} {:>10.2f} {:>10.1f}".format(
+                l0x_kb, l1x_kb, int(result.accel_cycles),
+                result.energy.total_pj / 1e6,
+                100 * result.stat("l1x.misses") / accesses))
+
+    print("\nACC lease-length sweep (renewal misses vs host-forward "
+          "stalls)")
+    print("{:>8s} {:>12s} {:>10s} {:>12s}".format(
+        "lease", "cycles", "uJ", "fwd stalls"))
+    for lease in (100, 300, 500, 1000, 3000):
+        config = base.with_lease(lease)
+        result = run("FUSION", benchmark, size, config)
+        print("{:>8d} {:>12,d} {:>10.2f} {:>12,d}".format(
+            lease, int(result.accel_cycles),
+            result.energy.total_pj / 1e6,
+            int(result.stat("l1x.fwd_gtime_stall_cycles"))))
+
+
+if __name__ == "__main__":
+    main()

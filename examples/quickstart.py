@@ -1,0 +1,64 @@
+"""Quickstart: simulate one benchmark on the FUSION hierarchy.
+
+Run with::
+
+    python examples/quickstart.py [benchmark] [size]
+
+Builds the workload trace (real kernels, real data), assembles the
+FUSION system (per-AXC L0X caches + shared L1X under the ACC lease
+protocol, integrated with the host's directory MESI), runs it end to
+end, and prints what the paper's evaluation would report for it.
+"""
+
+import sys
+
+from repro import run, small_config
+from repro.sim.experiments import table2
+from repro.workloads.characterize import characterize, working_set_kb
+from repro.workloads.registry import build_workload
+
+
+def main():
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "histogram"
+    size = sys.argv[2] if len(sys.argv) > 2 else "small"
+
+    print(table2(small_config()).render())
+    print()
+
+    workload = build_workload(benchmark, size)
+    print("benchmark     : {} ({} accelerators, {:.1f} kB working set)"
+          .format(benchmark, workload.num_axcs, working_set_kb(workload)))
+    for profile in characterize(workload):
+        print("  {:<12s} {:5.1f}% of ops, {:4.1f}% loads, MLP {:.1f}, "
+              "{:4.1f}% shared".format(
+                  profile.name, profile.time_pct, profile.ld_pct,
+                  profile.mlp, profile.shr_pct))
+    print()
+
+    result = run("FUSION", benchmark, size)
+    print("FUSION results")
+    print("  accelerator cycles : {:,}".format(int(result.accel_cycles)))
+    print("  total cycles       : {:,}".format(int(result.total_cycles)))
+    print("  dynamic energy     : {:.2f} uJ".format(
+        result.energy.total_pj / 1e6))
+    print("  cache/compute ratio: {:.1f}".format(
+        result.energy.cache_to_compute_ratio()))
+    print("  energy breakdown:")
+    for component, value in sorted(result.energy.components.items(),
+                                   key=lambda kv: -kv[1]):
+        if value > 0:
+            print("    {:<20s} {:8.3f} uJ ({:4.1f}%)".format(
+                component, value / 1e6,
+                100 * value / result.energy.total_pj))
+    print("  L0X hit rate       : {:.1f}%".format(
+        100 * sum(v for k, v in result.stats.items()
+                  if k.startswith("l0x.axc") and k.endswith(".hits"))
+        / max(1, sum(v for k, v in result.stats.items()
+                     if k.startswith("l0x.axc")
+                     and k.endswith(".accesses")))))
+    print("  AX-TLB lookups     : {:,}".format(result.ax_tlb_lookups))
+    print("  AX-RMAP lookups    : {:,}".format(result.ax_rmap_lookups))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for environments without the ``wheel`` package (offline installs).
+
+``pip install -e . --no-build-isolation`` needs bdist_wheel; this shim
+lets ``python setup.py develop`` work instead.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,8 @@
+"""Accelerator modelling: DDG analysis, AXC cycle model, FUSION tile."""
+
+from .core import AxcCore
+from .ddg import DdgMetrics, DdgNode, analyze, build_ddg
+from .tile import AcceleratorTile
+
+__all__ = ["AxcCore", "DdgMetrics", "DdgNode", "analyze", "build_ddg",
+           "AcceleratorTile"]

@@ -1,0 +1,121 @@
+"""The fixed-function accelerator cycle model.
+
+The paper (Section 4) drives a constrained dynamic data-dependence graph
+"on a cycle-by-cycle [basis], generating any requisite memory operations
+in a cycle and stalling the appropriate operations as necessary", with an
+aggressive non-blocking memory interface.  This model reproduces that
+behaviour at trace granularity:
+
+* compute chunks advance time by their dataflow-limited latency
+  (activity / issue width);
+* memory operations overlap up to the function's memory-level
+  parallelism (MLP), with MSHR-style merging of accesses to a block
+  whose fill is already outstanding;
+* the memory system is a caller-provided ``access_fn(op, now) ->
+  latency`` closure, so one core model serves every system design.
+
+Energy: Aladdin-style activity counts are charged per compute chunk.
+"""
+
+import heapq
+import math
+
+from ..common.types import ComputeOp, MemOp
+from ..energy.accel_energy import INVOCATION_OVERHEAD_PJ, compute_energy_pj
+
+
+class AxcCore:
+    """One fixed-function accelerator's datapath and memory interface."""
+
+    def __init__(self, axc_id, stats, issue_width=4):
+        self.axc_id = axc_id
+        self.issue_width = issue_width
+        self.stats = stats.scope("axc")
+        self._core_stats = stats.scope("axc.core{}".format(axc_id))
+
+    def run(self, trace, start_time, access_fn, mlp, issue_interval=1,
+            charge_invocation=True):
+        """Execute one invocation to completion; returns the end time.
+
+        Args:
+            trace: the :class:`FunctionTrace` to execute.
+            start_time: tile clock at invocation start.
+            access_fn: ``(MemOp, now) -> latency`` memory-system closure.
+            mlp: maximum outstanding memory operations.
+            issue_interval: cycles between memory-op issues — 1 for a
+                local store (scratchpad/L0X), 2 when every op crosses a
+                shared switch whose request and response flits serialise
+                on the same link (the SHARED design).
+            charge_invocation: charge the fixed per-invocation
+                control/sequencing energy.  SCRATCH passes False for the
+                continuation windows of one invocation — the datapath
+                stays configured across DMA windows.
+        """
+        generator = self.iter_run(trace, start_time, access_fn, mlp,
+                                  issue_interval, charge_invocation)
+        while True:
+            try:
+                next(generator)
+            except StopIteration as stop:
+                return stop.value
+
+    def iter_run(self, trace, start_time, access_fn, mlp,
+                 issue_interval=1, charge_invocation=True):
+        """Generator form of :meth:`run`: yields the local clock after
+        every memory-op issue, so a scheduler can interleave several
+        invocations on one tile (pipelined execution).  The generator's
+        return value is the completion time."""
+        mlp = max(1, int(mlp))
+        now = start_time
+        outstanding = []            # heap of completion times
+        fill_time_of = {}           # block -> outstanding completion
+        int_ops = 0
+        fp_ops = 0
+        mem_ops = 0
+        for op in trace.ops:
+            if isinstance(op, ComputeOp):
+                int_ops += op.int_ops
+                fp_ops += op.fp_ops
+                now += max(1, math.ceil(op.total / self.issue_width))
+                continue
+            if not isinstance(op, MemOp):
+                continue
+            mem_ops += 1
+            # Retire fills that have arrived.
+            while outstanding and outstanding[0] <= now:
+                heapq.heappop(outstanding)
+            # MLP limit: wait for the earliest outstanding fill.
+            if len(outstanding) >= mlp:
+                earliest = heapq.heappop(outstanding)
+                if earliest > now:
+                    self._core_stats.add("mlp_stall_cycles", earliest - now)
+                    now = earliest
+            latency = access_fn(op, now)
+            completion = now + latency
+            # MSHR merge: an access cannot complete before an
+            # already-outstanding fill of the same block.
+            pending = fill_time_of.get(op.block)
+            if pending is not None and pending > completion:
+                completion = pending
+                self._core_stats.add("mshr_merges")
+            fill_time_of[op.block] = completion
+            heapq.heappush(outstanding, completion)
+            now += issue_interval  # issue slot(s)
+            yield now
+        if outstanding:
+            now = max(now, max(outstanding))
+        self._record(trace, now - start_time, int_ops, fp_ops, mem_ops,
+                     charge_invocation)
+        return now
+
+    def _record(self, trace, cycles, int_ops, fp_ops, mem_ops,
+                charge_invocation=True):
+        energy = compute_energy_pj(int_ops, fp_ops)
+        if charge_invocation:
+            energy += INVOCATION_OVERHEAD_PJ
+            self.stats.add("invocations")
+        self.stats.add("compute.energy_pj", energy)
+        self._core_stats.add("cycles", cycles)
+        self._core_stats.add("mem_ops", mem_ops)
+        self._core_stats.add("int_ops", int_ops)
+        self._core_stats.add("fp_ops", fp_ops)

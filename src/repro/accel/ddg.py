@@ -1,0 +1,137 @@
+"""Dynamic data-dependence graph (DDG) analysis of accelerator traces.
+
+Section 4 of the paper models each fixed-function accelerator by
+traversing a *constrained dynamic data dependence graph* extracted from a
+profile of the original program.  We rebuild the same structure from our
+kernel traces:
+
+* every memory/compute op is a node;
+* loads and stores depend on the previous store to the same line
+  (memory dependence);
+* a compute chunk depends on the loads issued since the previous chunk
+  (its operands) and on the previous chunk (the sequential dataflow
+  spine);
+* loads/stores depend on the most recent compute chunk (address
+  generation).
+
+From an ASAP schedule of this graph we derive the Table 1
+characteristics: the operation mix and the memory-level parallelism
+(average number of memory ops that are ready in the same dependence
+level).
+"""
+
+from dataclasses import dataclass, field
+
+from ..common.types import ComputeOp, MemOp
+
+
+@dataclass
+class DdgNode:
+    """One node of the dependence graph."""
+
+    index: int
+    op: object
+    deps: list = field(default_factory=list)
+    level: int = 0
+
+
+#: Maximum outstanding memory ops the non-blocking interface sustains.
+MAX_PIPELINE_MLP = 8.0
+
+
+@dataclass
+class DdgMetrics:
+    """Trace characteristics derived from the DDG (Table 1 columns).
+
+    ``mlp`` is the dependence-limited memory-level parallelism (what
+    Table 1 reports: memory ops per ASAP dependence level).  ``pipe_mlp``
+    is the *pipelined* MLP the cycle model uses: fixed-function datapaths
+    pipeline loop iterations (Aladdin's model), so memory ops from
+    adjacent iterations overlap — roughly the memory ops issued per
+    dataflow chunk, bounded by the non-blocking interface depth.
+    """
+
+    int_ops: int = 0
+    fp_ops: int = 0
+    loads: int = 0
+    stores: int = 0
+    mlp: float = 1.0
+    pipe_mlp: float = 1.0
+
+    @property
+    def total_ops(self):
+        return self.int_ops + self.fp_ops + self.loads + self.stores
+
+    def mix_percent(self):
+        """Return the (%INT, %FP, %LD, %ST) tuple of Table 1."""
+        total = self.total_ops
+        if total == 0:
+            return (0.0, 0.0, 0.0, 0.0)
+        return (100.0 * self.int_ops / total,
+                100.0 * self.fp_ops / total,
+                100.0 * self.loads / total,
+                100.0 * self.stores / total)
+
+
+def build_ddg(trace):
+    """Build the dependence graph for one :class:`FunctionTrace`."""
+    nodes = []
+    last_store_to = {}
+    last_compute = None
+    pending_loads = []
+    for index, op in enumerate(trace.ops):
+        node = DdgNode(index=index, op=op)
+        if isinstance(op, MemOp):
+            if last_compute is not None:
+                node.deps.append(last_compute)
+            producer = last_store_to.get(op.block)
+            if producer is not None:
+                node.deps.append(producer)
+            if op.is_store:
+                last_store_to[op.block] = node
+            else:
+                pending_loads.append(node)
+        elif isinstance(op, ComputeOp):
+            node.deps.extend(pending_loads)
+            pending_loads = []
+            if last_compute is not None:
+                node.deps.append(last_compute)
+            last_compute = node
+        else:
+            continue  # phase markers are not dataflow
+        nodes.append(node)
+    _assign_levels(nodes)
+    return nodes
+
+
+def _assign_levels(nodes):
+    """ASAP leveling: level = 1 + max(dep levels)."""
+    for node in nodes:  # nodes are in trace order, deps point backwards
+        node.level = 1 + max((dep.level for dep in node.deps), default=0)
+
+
+def analyze(trace):
+    """Return :class:`DdgMetrics` for one function trace."""
+    metrics = DdgMetrics()
+    mem_levels = {}
+    chunks = 0
+    nodes = build_ddg(trace)
+    for node in nodes:
+        op = node.op
+        if isinstance(op, MemOp):
+            if op.is_store:
+                metrics.stores += 1
+            else:
+                metrics.loads += 1
+            mem_levels[node.level] = mem_levels.get(node.level, 0) + 1
+        elif isinstance(op, ComputeOp):
+            metrics.int_ops += op.int_ops
+            metrics.fp_ops += op.fp_ops
+            chunks += 1
+    total_mem = metrics.loads + metrics.stores
+    if mem_levels:
+        metrics.mlp = total_mem / len(mem_levels)
+    if total_mem:
+        metrics.pipe_mlp = min(MAX_PIPELINE_MLP,
+                               max(1.0, total_mem / max(1, chunks)))
+    return metrics

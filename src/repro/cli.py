@@ -1,0 +1,242 @@
+"""Command-line interface: run benchmarks and regenerate paper artefacts.
+
+Examples::
+
+    fusion-sim run FUSION histogram --size small
+    fusion-sim experiment fig6b --size small --format csv
+    fusion-sim experiment all --size full
+    fusion-sim compare fft --size small
+    fusion-sim area --axcs 6
+    fusion-sim trace fft /tmp/fft.trace --size small
+    fusion-sim multitenant adpcm filter --size tiny
+"""
+
+import argparse
+import sys
+
+from .common.config import small_config
+from .common.config_io import load_config
+from .energy.area import area_table, tile_area
+from .sim import charts, export
+from .sim.experiments import ALL_EXPERIMENTS, table2
+from .sim.simulator import run
+from .systems import SYSTEMS
+from .systems.multitenant import MultiTenantFusionSystem
+from .workloads import trace_io
+from .workloads.registry import BENCHMARKS, build_workload
+
+
+def _cmd_run(args):
+    config = load_config(args.config) if args.config else None
+    result = run(args.system, args.benchmark, args.size, config)
+    if args.validate:
+        from .sim.validate import check_or_raise
+        check_or_raise(result)
+    if args.format == "json":
+        print(export.result_to_json(result, include_stats=args.stats))
+        return 0
+    print("system     : {}".format(result.system))
+    print("benchmark  : {}".format(result.benchmark))
+    print("accel cyc  : {}".format(result.accel_cycles))
+    print("total cyc  : {}".format(result.total_cycles))
+    print("energy (uJ): {:.3f}".format(result.energy.total_pj / 1e6))
+    for component, value in sorted(result.energy.components.items()):
+        if value:
+            print("  {:<20s} {:.3f} uJ".format(component, value / 1e6))
+    print("tile link  : {:.2f} flits/cycle".format(
+        result.link_utilization()))
+    return 0
+
+
+def _render(table, fmt):
+    if fmt == "csv":
+        return export.table_to_csv(table)
+    if fmt == "json":
+        return export.table_to_json(table)
+    return table.render()
+
+
+def _cmd_experiment(args):
+    names = (list(ALL_EXPERIMENTS) if args.name == "all"
+             else [args.name])
+    for name in names:
+        experiment = ALL_EXPERIMENTS[name]
+        table = experiment() if name == "table2" else \
+            experiment(size=args.size)
+        print(_render(table, args.format))
+        print()
+    return 0
+
+
+def _cmd_compare(args):
+    systems = ("SCRATCH", "SHARED", "FUSION", "FUSION-Dx", "IDEAL")
+    results = {name: run(name, args.benchmark, args.size)
+               for name in systems}
+    ideal = results["IDEAL"].accel_cycles
+    print("benchmark: {} (size={})\n".format(args.benchmark, args.size))
+    print(charts.bar_chart(
+        [(name, results[name].accel_cycles / 1000.0)
+         for name in systems], label_width=10))
+    print()
+    print("{:<10s} {:>10s} {:>10s} {:>12s} {:>10s}".format(
+        "system", "KCycles", "uJ", "efficiency", "link f/c"))
+    for name in systems:
+        result = results[name]
+        print("{:<10s} {:>10.1f} {:>10.2f} {:>11.0f}% {:>10.2f}".format(
+            name, result.accel_cycles / 1000.0,
+            result.energy.total_pj / 1e6,
+            100.0 * ideal / result.accel_cycles,
+            result.link_utilization()))
+    print()
+    print(charts.figure6a_chart({
+        args.benchmark: {name: results[name]
+                         for name in ("SCRATCH", "SHARED", "FUSION")}}))
+    return 0
+
+
+def _cmd_area(args):
+    config = small_config()
+    print("{:<9s} {:<12s} {:>9s}".format("design", "component", "mm^2"))
+    for system, name, area in area_table(config, args.axcs):
+        print("{:<9s} {:<12s} {:>9.3f}".format(system, name, area))
+    report = tile_area(config, args.axcs)
+    print("\nFUSION tile leakage: {:.1f} mW "
+          "({:.1f} pJ/cycle at 2 GHz)".format(
+              report.leakage_mw(), report.leakage_pj_per_cycle()))
+    print("dataflow wire length: {:.2f} mm".format(
+        report.wire_length_mm()))
+    return 0
+
+
+def _cmd_trace(args):
+    workload = build_workload(args.benchmark, args.size)
+    trace_io.save_path(workload, args.path)
+    ops = sum(len(t.ops) for t in workload.invocations)
+    print("wrote {} ({} invocations, {} ops)".format(
+        args.path, len(workload.invocations), ops))
+    return 0
+
+
+def _cmd_multitenant(args):
+    from .systems.multitile import MultiTileFusionSystem
+    workloads = [build_workload(name, args.size)
+                 for name in args.benchmarks]
+    if args.per_tile:
+        system = MultiTileFusionSystem(small_config(), workloads)
+        conflicts = "n/a (dedicated tiles)"
+    else:
+        system = MultiTenantFusionSystem(small_config(), workloads)
+    result = system.run()
+    if not args.per_tile:
+        conflicts = int(result.stat("l1x.pid_conflicts"))
+    print("processes        : {}".format(result.benchmark))
+    print("tiles            : {}".format(
+        len(workloads) if args.per_tile else 1))
+    print("accel cycles     : {}".format(result.accel_cycles))
+    print("energy (uJ)      : {:.3f}".format(result.energy.total_pj / 1e6))
+    print("L1X PID conflicts: {}".format(conflicts))
+    return 0
+
+
+def _cmd_parallelism(args):
+    from .workloads.dependence import parallelism_profile
+    workload = build_workload(args.benchmark, args.size)
+    critical, total, width = parallelism_profile(workload)
+    sequential = run("FUSION", args.benchmark, args.size)
+    pipelined = run("FUSION-PIPE", args.benchmark, args.size)
+    print("benchmark          : {}".format(args.benchmark))
+    print("invocations        : {}".format(total))
+    print("critical path      : {} invocations".format(critical))
+    print("max width          : {} concurrent".format(width))
+    print("FUSION cycles      : {}".format(sequential.accel_cycles))
+    print("FUSION-PIPE cycles : {}".format(pipelined.accel_cycles))
+    print("overlap speedup    : {:.2f}x".format(
+        sequential.accel_cycles / pipelined.accel_cycles))
+    return 0
+
+
+def _cmd_config(_args):
+    print(table2().render())
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="fusion-sim",
+        description="FUSION (ISCA 2015) reproduction simulator")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_size(p):
+        p.add_argument("--size", default="full",
+                       choices=("full", "small", "tiny"))
+
+    run_p = sub.add_parser("run", help="run one system on one benchmark")
+    run_p.add_argument("system", choices=sorted(SYSTEMS))
+    run_p.add_argument("benchmark", choices=BENCHMARKS)
+    add_size(run_p)
+    run_p.add_argument("--format", default="text",
+                       choices=("text", "json"))
+    run_p.add_argument("--stats", action="store_true",
+                       help="include raw counters in JSON output")
+    run_p.add_argument("--config", default=None,
+                       help="JSON config-override file "
+                            "(see repro.common.config_io)")
+    run_p.add_argument("--validate", action="store_true",
+                       help="cross-check the result's internal "
+                            "consistency (repro.sim.validate)")
+    run_p.set_defaults(func=_cmd_run)
+
+    exp_p = sub.add_parser("experiment",
+                           help="regenerate a paper table/figure")
+    exp_p.add_argument("name", choices=sorted(ALL_EXPERIMENTS) + ["all"])
+    add_size(exp_p)
+    exp_p.add_argument("--format", default="text",
+                       choices=("text", "csv", "json"))
+    exp_p.set_defaults(func=_cmd_experiment)
+
+    cmp_p = sub.add_parser("compare",
+                           help="all systems + IDEAL bound on one "
+                                "benchmark, with charts")
+    cmp_p.add_argument("benchmark", choices=BENCHMARKS)
+    add_size(cmp_p)
+    cmp_p.set_defaults(func=_cmd_compare)
+
+    area_p = sub.add_parser("area", help="tile floorplan and leakage")
+    area_p.add_argument("--axcs", type=int, default=4)
+    area_p.set_defaults(func=_cmd_area)
+
+    trace_p = sub.add_parser("trace",
+                             help="dump a benchmark's trace to a file")
+    trace_p.add_argument("benchmark", choices=BENCHMARKS)
+    trace_p.add_argument("path")
+    add_size(trace_p)
+    trace_p.set_defaults(func=_cmd_trace)
+
+    mt_p = sub.add_parser("multitenant",
+                          help="co-run workloads on one PID-tagged tile")
+    mt_p.add_argument("benchmarks", nargs="+", choices=BENCHMARKS)
+    mt_p.add_argument("--per-tile", action="store_true",
+                      help="give each workload its own tile instead of "
+                           "time-sharing one")
+    add_size(mt_p)
+    mt_p.set_defaults(func=_cmd_multitenant)
+
+    par_p = sub.add_parser("parallelism",
+                           help="invocation-level parallelism profile "
+                                "and pipelined speedup")
+    par_p.add_argument("benchmark", choices=BENCHMARKS)
+    add_size(par_p)
+    par_p.set_defaults(func=_cmd_parallelism)
+
+    cfg_p = sub.add_parser("config", help="print Table 2 parameters")
+    cfg_p.set_defaults(func=_cmd_config)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

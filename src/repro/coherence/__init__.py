@@ -1,0 +1,17 @@
+"""Coherence engines: host directory MESI, tile ACC, SHARED-L1X agent."""
+
+from .acc import AccL0XController, AccL1XController, TILE_LINK_LATENCY
+from .lease_policy import AdaptiveLeasePolicy, FixedLeasePolicy, make_policy
+from .directory import AGENTS, HOST, TILE, Directory, DirectoryEntry
+from .mesi import HostMemorySystem
+from .messages import DATA_MESSAGES, MSG_SIZE, Msg, is_data, send, size_of
+from .shared_l1 import SWITCH_LATENCY, SharedL1XController
+
+__all__ = [
+    "AccL0XController", "AccL1XController", "TILE_LINK_LATENCY",
+    "AdaptiveLeasePolicy", "FixedLeasePolicy", "make_policy",
+    "AGENTS", "HOST", "TILE", "Directory", "DirectoryEntry",
+    "HostMemorySystem",
+    "DATA_MESSAGES", "MSG_SIZE", "Msg", "is_data", "send", "size_of",
+    "SWITCH_LATENCY", "SharedL1XController",
+]

@@ -1,0 +1,110 @@
+"""The host L2's coherence directory.
+
+Table 2's LLC runs directory MESI.  With one host core tile and one
+accelerator tile, the directory tracks per-block which agents cache the
+line and which (if any) owns it exclusively.  The paper relies on the
+directory having "perfect information on whether the accelerator tile is
+caching the block" so that no extraneous forwards reach the tile — the
+sharer list provides exactly that filter.
+"""
+
+from dataclasses import dataclass, field
+
+from ..common.errors import ProtocolError
+
+HOST = "host"
+TILE = "tile"
+#: The default agent pair; additional tiles register their own names
+#: ("tile0", "tile1", ...) — the paper notes "the system can support
+#: multiple accelerator tiles".
+AGENTS = (HOST, TILE)
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory state for one L2-resident block."""
+
+    sharers: set = field(default_factory=set)
+    owner: str = None
+
+    @property
+    def is_idle(self):
+        return self.owner is None and not self.sharers
+
+    def add_sharer(self, agent):
+        _check_agent(agent)
+        if self.owner is not None and self.owner != agent:
+            raise ProtocolError(
+                "adding sharer {} while {} owns the block".format(
+                    agent, self.owner))
+        self.sharers.add(agent)
+
+    def set_owner(self, agent):
+        _check_agent(agent)
+        others = (self.sharers - {agent}) | (
+            {self.owner} - {agent, None})
+        if others:
+            raise ProtocolError(
+                "granting ownership to {} while {} still cache the "
+                "block".format(agent, sorted(others)))
+        self.owner = agent
+        self.sharers = {agent}
+
+    def remove(self, agent):
+        _check_agent(agent)
+        self.sharers.discard(agent)
+        if self.owner == agent:
+            self.owner = None
+
+    def cached_by(self, agent):
+        return agent in self.sharers or self.owner == agent
+
+
+def _check_agent(agent):
+    if not isinstance(agent, str) or not agent:
+        raise ProtocolError("unknown coherence agent {!r}".format(agent))
+
+
+class Directory:
+    """Block-address -> :class:`DirectoryEntry` map held at the L2."""
+
+    def __init__(self, stats):
+        self.stats = stats.scope("directory")
+        self._entries = {}
+
+    def entry(self, block):
+        """Return the entry for ``block``, creating an idle one if new."""
+        entry = self._entries.get(block)
+        if entry is None:
+            entry = DirectoryEntry()
+            self._entries[block] = entry
+        return entry
+
+    def lookup(self, block):
+        """Return the entry or ``None`` without creating one."""
+        return self._entries.get(block)
+
+    def drop(self, block):
+        """Forget a block entirely (L2 eviction after recalls)."""
+        self._entries.pop(block, None)
+
+    def tile_caches(self, block):
+        """The directory filter: does any accelerator tile cache
+        ``block``?"""
+        entry = self._entries.get(block)
+        return entry is not None and bool(self.tile_sharers(block))
+
+    def tile_sharers(self, block):
+        """Names of the non-host agents caching ``block``."""
+        entry = self._entries.get(block)
+        if entry is None:
+            return set()
+        names = set(entry.sharers)
+        if entry.owner is not None:
+            names.add(entry.owner)
+        names.discard(HOST)
+        return names
+
+    def blocks_owned_by(self, agent):
+        return [block for block, entry in self._entries.items()
+                if entry.owner == agent]

@@ -1,0 +1,75 @@
+"""Lease-length policies for the ACC protocol.
+
+The paper fixes each function's lease ahead of time ("the epoch requests
+are fixed based on the expected latency of the accelerator invocation")
+— that is :class:`FixedLeasePolicy`.  :class:`AdaptiveLeasePolicy`
+implements the natural extension the paper leaves open: a small per-set
+table at each L0X observes how leases die and adjusts the next request.
+
+* A *renewal miss* — the line expired but the accelerator came back for
+  it — means the lease was too short: double that set's multiplier.
+* A *wasted lease* — the line was evicted for capacity while its lease
+  was still live — means the lease over-committed the L1X (long GTIMEs
+  stall host forwards and L1X evictions): halve the multiplier.
+
+The table is per cache set (hardware-plausible: a few counters per set,
+like the writeback-timestamp filters of Section 3.2).
+"""
+
+
+class FixedLeasePolicy:
+    """The paper's behaviour: always the function's configured lease."""
+
+    name = "fixed"
+
+    def lease_for(self, set_index, default_lease):
+        return default_lease
+
+    def on_renewal_miss(self, set_index):
+        """A line expired and was then re-requested (no-op when fixed)."""
+
+    def on_wasted_lease(self, set_index):
+        """A live-leased line was evicted for capacity (no-op)."""
+
+
+class AdaptiveLeasePolicy:
+    """Per-set multiplicative-increase / multiplicative-decrease leases."""
+
+    name = "adaptive"
+
+    #: Multiplier bounds: x1/4 .. x8 of the function's configured lease.
+    MIN_SHIFT = -2
+    MAX_SHIFT = 3
+
+    def __init__(self, num_sets):
+        self.num_sets = num_sets
+        self._shift = [0] * num_sets
+        self.renewal_misses = 0
+        self.wasted_leases = 0
+
+    def lease_for(self, set_index, default_lease):
+        shift = self._shift[set_index % self.num_sets]
+        if shift >= 0:
+            return default_lease << shift
+        return max(1, default_lease >> -shift)
+
+    def on_renewal_miss(self, set_index):
+        index = set_index % self.num_sets
+        if self._shift[index] < self.MAX_SHIFT:
+            self._shift[index] += 1
+        self.renewal_misses += 1
+
+    def on_wasted_lease(self, set_index):
+        index = set_index % self.num_sets
+        if self._shift[index] > self.MIN_SHIFT:
+            self._shift[index] -= 1
+        self.wasted_leases += 1
+
+
+def make_policy(name, num_sets):
+    """Factory used by the tile: ``"fixed"`` or ``"adaptive"``."""
+    if name == "fixed":
+        return FixedLeasePolicy()
+    if name == "adaptive":
+        return AdaptiveLeasePolicy(num_sets)
+    raise ValueError("unknown lease policy {!r}".format(name))

@@ -1,0 +1,84 @@
+"""Coherence message vocabulary shared by the MESI and ACC engines.
+
+Messages are not materialised as objects in the hot path — the simulator
+only needs their *counts* and *sizes* — but every protocol transition
+names the message it sends so that traffic statistics (Figure 6c,
+Table 4) use one consistent vocabulary.
+"""
+
+from enum import Enum, auto
+
+from ..common.units import CONTROL_MSG_SIZE, LINE_SIZE
+
+
+class Msg(Enum):
+    """Every message type exchanged in the system."""
+
+    # Requests (control, one flit)
+    GETS = auto()          # read request
+    GETX = auto()          # write/exclusive request
+    EPOCH_READ = auto()    # ACC read-epoch request (L0X -> L1X)
+    EPOCH_WRITE = auto()   # ACC write-epoch request (L0X -> L1X)
+    # Responses
+    DATA_LINE = auto()     # whole-line data response
+    DATA_WORD = auto()     # word-granularity response (SHARED loads)
+    ACK = auto()
+    # Writebacks / evictions
+    PUTX = auto()          # eviction notice with data (dirty)
+    PUTS = auto()          # eviction notice, clean
+    WB_DATA = auto()       # writeback data payload
+    WT_DATA = auto()       # write-through word payload
+    # Directory-forwarded requests
+    FWD_GETS = auto()
+    FWD_GETX = auto()
+    INV = auto()
+    RECALL = auto()        # inclusion-victim recall (L2 -> L1X)
+    # FUSION-Dx
+    FWD_LINE = auto()      # direct L0X -> L0X forwarded line
+
+
+#: Payload size of each message in bytes.
+MSG_SIZE = {
+    Msg.GETS: CONTROL_MSG_SIZE,
+    Msg.GETX: CONTROL_MSG_SIZE,
+    Msg.EPOCH_READ: CONTROL_MSG_SIZE,
+    Msg.EPOCH_WRITE: CONTROL_MSG_SIZE,
+    Msg.DATA_LINE: LINE_SIZE,
+    Msg.DATA_WORD: 8,
+    Msg.ACK: CONTROL_MSG_SIZE,
+    Msg.PUTX: CONTROL_MSG_SIZE + LINE_SIZE,
+    Msg.PUTS: CONTROL_MSG_SIZE,
+    Msg.WB_DATA: LINE_SIZE,
+    Msg.WT_DATA: 8,
+    Msg.INV: CONTROL_MSG_SIZE,
+    Msg.FWD_GETS: CONTROL_MSG_SIZE,
+    Msg.FWD_GETX: CONTROL_MSG_SIZE,
+    Msg.RECALL: CONTROL_MSG_SIZE,
+    Msg.FWD_LINE: LINE_SIZE,
+}
+
+#: Message types that carry data payloads (the rest are control traffic).
+DATA_MESSAGES = frozenset({
+    Msg.DATA_LINE, Msg.DATA_WORD, Msg.PUTX, Msg.WB_DATA, Msg.WT_DATA,
+    Msg.FWD_LINE,
+})
+
+
+def size_of(msg):
+    """Return the size in bytes of one message of type ``msg``."""
+    return MSG_SIZE[msg]
+
+
+def is_data(msg):
+    """Return whether ``msg`` carries a data payload."""
+    return msg in DATA_MESSAGES
+
+
+def send(link, msg, stats=None, counter_prefix=None):
+    """Send one message over ``link`` with correct msg/data accounting."""
+    if is_data(msg):
+        link.send_data(size_of(msg))
+    else:
+        link.send_msg(size_of(msg))
+    if stats is not None and counter_prefix is not None:
+        stats.add("{}.{}".format(counter_prefix, msg.name.lower()))

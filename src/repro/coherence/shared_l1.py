@@ -1,0 +1,112 @@
+"""The SHARED baseline's tile cache: one L1X shared by all accelerators.
+
+This models the "at-the-core"/coprocessor-dominated designs the paper
+compares against [Dyser, Zheng et al.]: every accelerator memory
+operation crosses the tile switch to a banked shared L1 cache, which
+participates in the host's MESI protocol as an ordinary L1 agent.  There
+are no private L0Xs, no leases — just a conventional cache with higher
+per-access latency and energy than a small private cache, which is
+exactly the tradeoff Lessons 1-3 quantify.
+"""
+
+from ..common.types import block_address
+from ..energy import cacti
+from ..mem.banking import BankContention
+from ..mem.cache import SetAssocCache
+from .messages import Msg, send
+
+#: AXC -> shared L1X switch traversal, one way, cycles.
+SWITCH_LATENCY = 1
+
+#: Memory-op issue interval in the SHARED design: the request flit and
+#: the response flit of every access serialise on the tile switch, so an
+#: accelerator cannot quite sustain one L1X access per cycle the way it can
+#: against a private scratchpad/L0X.  This is the load-to-use throughput
+#: penalty Lessons 1-2 attribute to shared-cache designs.
+ISSUE_INTERVAL = 1.5
+
+
+class SharedL1XController:
+    """A MESI-participating shared L1X with no private caches below it."""
+
+    def __init__(self, config, host_mem, page_table, stats):
+        self.config = config.tile.l1x
+        self.host = host_mem
+        self.page_table = page_table
+        self.stats = stats.scope("l1x")
+        self.cache = SetAssocCache(self.config, name="shared_l1x")
+        self.banks = (BankContention(self.config.banks, occupancy=1,
+                                     stats=self.stats)
+                      if config.tile.model_bank_conflicts else None)
+        self._read_energy = cacti.cache_access_energy_pj(self.config)
+        self._write_energy = cacti.cache_access_energy_pj(
+            self.config, is_store=True)
+        self.axc_link = None  # attached by the system
+
+    def _charge(self, is_store=False):
+        self.stats.add("accesses")
+        self.stats.add("energy_pj",
+                       self._write_energy if is_store else self._read_energy)
+
+    def access(self, op, now):
+        """Serve one accelerator operation across the tile switch.
+
+        Every access costs a request message and a word-sized response on
+        the AXC<->L1X link — the pull-based overhead the FUSION L0X
+        exists to filter (Figure 6c).
+        """
+        pblock = block_address(self.page_table.translate(op.addr))
+        send(self.axc_link, Msg.GETS if not op.is_store else Msg.GETX,
+             self.stats, "req")
+        latency = SWITCH_LATENCY + self.config.hit_latency
+        if self.banks is not None:
+            latency += self.banks.access(self.config.set_index(pblock),
+                                         now)
+        self._charge(op.is_store)
+        line = self.cache.lookup(pblock)
+        if line is None:
+            self.stats.add("misses")
+            latency += self._fill(pblock, now + latency)
+            line = self.cache.lookup(pblock)
+        else:
+            self.stats.add("hits")
+        if op.is_store:
+            line.dirty = True
+            line.state = "M"
+            send(self.axc_link, Msg.WT_DATA, self.stats, "store_data")
+        else:
+            send(self.axc_link, Msg.DATA_WORD, self.stats, "resp")
+        return latency + SWITCH_LATENCY
+
+    def _fill(self, pblock, now):
+        latency = self.host.fetch_for_tile(pblock, now)
+        victim = self.cache.insert(pblock, state="E", paddr=pblock)
+        if victim is not None:
+            self._charge(is_store=False)
+            latency += self.host.tile_writeback(victim.paddr, victim.dirty,
+                                                now)
+            self.stats.add("evictions")
+        return latency
+
+    def handle_forwarded_request(self, pblock, now, is_store):
+        """Tile-agent interface: a directory forward probes the L1X
+        directly (physically indexed — no RMAP or GTIME needed)."""
+        line = self.cache.lookup(pblock, touch=False)
+        if line is None:
+            self.stats.add("fwd_misses")
+            return 0, False
+        self._charge(is_store=False)
+        self.cache.invalidate(pblock)
+        self.stats.add("fwd_evictions")
+        return 0, line.dirty
+
+    def flush(self, now):
+        """Drain every dirty line back to the host (end of workload)."""
+        latency = 0
+        for line in list(self.cache.dirty_lines()):
+            self._charge(is_store=False)
+            latency += self.host.tile_writeback(line.paddr, dirty=True,
+                                                now=now)
+            line.dirty = False
+            self.stats.add("flush_writebacks")
+        return latency

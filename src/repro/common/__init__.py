@@ -1,0 +1,59 @@
+"""Shared value types, configuration and statistics infrastructure."""
+
+from . import config_io
+from .config import (
+    AcceleratorTileConfig,
+    CacheConfig,
+    DmaConfig,
+    DramConfig,
+    HostConfig,
+    LinkEnergyConfig,
+    ScratchpadConfig,
+    SystemConfig,
+    WritePolicy,
+    large_config,
+    small_config,
+)
+from .errors import (
+    ConfigError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    TranslationError,
+)
+from .stats import StatsRegistry, StatsScope
+from .types import (
+    AccessType,
+    ComputeOp,
+    FunctionTrace,
+    MemOp,
+    OpClass,
+    PhaseMarker,
+    WorkloadTrace,
+    block_address,
+    block_offset,
+)
+from .units import (
+    CONTROL_MSG_SIZE,
+    FLIT_SIZE,
+    KB,
+    LINE_SIZE,
+    MB,
+    bytes_to_flits,
+    to_kb,
+)
+
+__all__ = [
+    "config_io",
+    "AcceleratorTileConfig", "CacheConfig", "DmaConfig", "DramConfig",
+    "HostConfig", "LinkEnergyConfig", "ScratchpadConfig", "SystemConfig",
+    "WritePolicy", "large_config", "small_config",
+    "ConfigError", "ProtocolError", "ReproError", "SimulationError",
+    "TraceError", "TranslationError",
+    "StatsRegistry", "StatsScope",
+    "AccessType", "ComputeOp", "FunctionTrace", "MemOp", "OpClass",
+    "PhaseMarker", "WorkloadTrace", "block_address", "block_offset",
+    "CONTROL_MSG_SIZE", "FLIT_SIZE", "KB", "LINE_SIZE", "MB",
+    "bytes_to_flits", "to_kb",
+]

@@ -1,0 +1,97 @@
+"""SystemConfig persistence: JSON round-trip for experiment configs.
+
+Design-space studies accumulate configurations; this module lets them
+live in version-controlled JSON instead of Python:
+
+    fusion-sim run FUSION fft --config my_tile.json
+
+Only values that differ from the defaults need to appear in the file —
+the loader starts from :func:`small_config` (or any base) and applies
+the overrides field by field, validating through the same frozen
+dataclasses as programmatic construction.
+"""
+
+import json
+from dataclasses import fields, is_dataclass, replace
+
+from .config import SystemConfig, WritePolicy, small_config
+from .errors import ConfigError
+
+
+def _encode(value):
+    if isinstance(value, WritePolicy):
+        return value.name
+    if is_dataclass(value):
+        return {f.name: _encode(getattr(value, f.name))
+                for f in fields(value)}
+    return value
+
+
+def config_to_dict(config):
+    """Full dictionary form of a :class:`SystemConfig`."""
+    return _encode(config)
+
+
+def config_to_json(config, indent=2):
+    return json.dumps(config_to_dict(config), indent=indent,
+                      sort_keys=True)
+
+
+def _apply(instance, overrides, path=""):
+    """Apply a nested override dict onto a (frozen) dataclass."""
+    if not isinstance(overrides, dict):
+        raise ConfigError("expected an object at {!r}, got {!r}".format(
+            path or "<root>", overrides))
+    known = {f.name: f for f in fields(instance)}
+    changes = {}
+    for key, value in overrides.items():
+        if key not in known:
+            raise ConfigError("unknown config field {!r}".format(
+                (path + "." + key).lstrip(".")))
+        current = getattr(instance, key)
+        if is_dataclass(current):
+            if not isinstance(value, dict):
+                raise ConfigError(
+                    "expected an object for {!r}, got {!r}".format(
+                        (path + "." + key).lstrip("."), value))
+            changes[key] = _apply(current, value,
+                                  (path + "." + key).lstrip("."))
+        elif isinstance(current, WritePolicy) or key == "write_policy":
+            try:
+                changes[key] = WritePolicy[value]
+            except KeyError:
+                raise ConfigError(
+                    "unknown write policy {!r}".format(value)) from None
+        else:
+            changes[key] = value
+    return replace(instance, **changes)
+
+
+def config_from_dict(overrides, base=None):
+    """Build a :class:`SystemConfig` from overrides on ``base``.
+
+    Validation errors from the dataclasses (bad geometry, etc.)
+    propagate as :class:`ConfigError`.
+    """
+    base = base or small_config()
+    return _apply(base, overrides)
+
+
+def config_from_json(text, base=None):
+    try:
+        overrides = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ConfigError("invalid config JSON: {}".format(error))
+    return config_from_dict(overrides, base)
+
+
+def load_config(path, base=None):
+    """Load a config-override file from ``path``."""
+    with open(path) as fileobj:
+        return config_from_json(fileobj.read(), base)
+
+
+def save_config(config, path):
+    """Write the full configuration to ``path`` as JSON."""
+    with open(path, "w") as fileobj:
+        fileobj.write(config_to_json(config) + "\n")

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the FUSION reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is inconsistent or out of range."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or violates an invariant."""
+
+
+class ProtocolError(ReproError):
+    """A coherence protocol invariant was violated.
+
+    Raising (rather than silently patching state) is deliberate: protocol
+    bugs in a simulator corrupt every downstream statistic, so we fail fast.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state."""
+
+
+class TranslationError(ReproError):
+    """Virtual memory translation failed (no mapping, synonym violation)."""

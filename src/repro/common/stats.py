@@ -1,0 +1,115 @@
+"""Hierarchical statistics registry.
+
+Every component of the simulator records counts into a shared
+:class:`StatsRegistry` under dotted names (``"l1x.hits"``,
+``"link.l0x_l1x.msg_bytes"``).  The registry supports scoped views,
+snapshots, diffs and merging — the experiment layer uses diffs to separate
+per-function from whole-run statistics.
+"""
+
+from collections import defaultdict
+
+
+class StatsRegistry:
+    """A flat map of dotted counter names to numeric values."""
+
+    def __init__(self):
+        self._counters = defaultdict(float)
+
+    def add(self, name, amount=1):
+        """Increment counter ``name`` by ``amount``."""
+        self._counters[name] += amount
+
+    def get(self, name, default=0):
+        """Return the value of counter ``name`` (``default`` if absent)."""
+        return self._counters.get(name, default)
+
+    def set(self, name, value):
+        """Set counter ``name`` to ``value`` (used for gauges)."""
+        self._counters[name] = value
+
+    def scope(self, prefix):
+        """Return a :class:`StatsScope` that prefixes all counter names."""
+        return StatsScope(self, prefix)
+
+    def names(self):
+        """Return all counter names, sorted."""
+        return sorted(self._counters)
+
+    def snapshot(self):
+        """Return a plain-dict copy of all counters."""
+        return dict(self._counters)
+
+    def diff(self, earlier_snapshot):
+        """Return counters minus an earlier :meth:`snapshot`.
+
+        Counters absent from the earlier snapshot are treated as zero.
+        """
+        result = {}
+        for name, value in self._counters.items():
+            delta = value - earlier_snapshot.get(name, 0)
+            if delta:
+                result[name] = delta
+        return result
+
+    def merge(self, other):
+        """Add every counter of ``other`` (registry or dict) into this one."""
+        items = other.snapshot().items() if isinstance(
+            other, StatsRegistry) else other.items()
+        for name, value in items:
+            self._counters[name] += value
+
+    def total(self, prefix):
+        """Sum of every counter whose name starts with ``prefix``."""
+        if not prefix.endswith("."):
+            prefix_dot = prefix + "."
+        else:
+            prefix_dot = prefix
+        total = self._counters.get(prefix.rstrip("."), 0)
+        for name, value in self._counters.items():
+            if name.startswith(prefix_dot):
+                total += value
+        return total
+
+    def subtree(self, prefix):
+        """Return a dict of counters under ``prefix`` with it stripped."""
+        prefix_dot = prefix if prefix.endswith(".") else prefix + "."
+        return {name[len(prefix_dot):]: value
+                for name, value in self._counters.items()
+                if name.startswith(prefix_dot)}
+
+    def clear(self):
+        self._counters.clear()
+
+    def __contains__(self, name):
+        return name in self._counters
+
+    def __repr__(self):
+        return "StatsRegistry({} counters)".format(len(self._counters))
+
+
+class StatsScope:
+    """A view of a :class:`StatsRegistry` under a fixed name prefix."""
+
+    def __init__(self, registry, prefix):
+        self._registry = registry
+        self._prefix = prefix.rstrip(".")
+
+    def _qualify(self, name):
+        return "{}.{}".format(self._prefix, name)
+
+    def add(self, name, amount=1):
+        self._registry.add(self._qualify(name), amount)
+
+    def get(self, name, default=0):
+        return self._registry.get(self._qualify(name), default)
+
+    def set(self, name, value):
+        self._registry.set(self._qualify(name), value)
+
+    def scope(self, prefix):
+        return StatsScope(self._registry, self._qualify(prefix))
+
+    @property
+    def prefix(self):
+        return self._prefix

@@ -1,0 +1,41 @@
+"""Unit helpers used throughout the simulator.
+
+All sizes are bytes, all energies picojoules (pJ), all times cycles of the
+2 GHz host clock (Table 2 of the paper) unless a name says otherwise.
+"""
+
+KB = 1024
+MB = 1024 * KB
+
+#: Cache line size used by every cache in the hierarchy (bytes).
+LINE_SIZE = 64
+
+#: Network flit size used for Table 4 bandwidth accounting (bytes).
+FLIT_SIZE = 8
+
+#: Size of a coherence control message (request, ack, eviction notice) in
+#: bytes.  One flit, matching the paper's single-flit control messages.
+CONTROL_MSG_SIZE = 8
+
+#: Host clock frequency in Hz (Table 2).
+CLOCK_HZ = 2_000_000_000
+
+
+def bytes_to_flits(num_bytes):
+    """Return the number of 8-byte flits needed to carry ``num_bytes``."""
+    return (num_bytes + FLIT_SIZE - 1) // FLIT_SIZE
+
+
+def to_kb(num_bytes):
+    """Return ``num_bytes`` expressed in kilobytes as a float."""
+    return num_bytes / KB
+
+
+def pj_to_uj(pj):
+    """Convert picojoules to microjoules."""
+    return pj / 1e6
+
+
+def cycles_to_us(cycles):
+    """Convert host cycles to microseconds at the Table 2 clock."""
+    return cycles / CLOCK_HZ * 1e6

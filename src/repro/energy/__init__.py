@@ -1,0 +1,20 @@
+"""Energy models: CACTI-style caches, Aladdin-style datapaths, accounting."""
+
+from . import area, cacti
+from .accel_energy import FP_OP_PJ, INT_OP_PJ, compute_energy_pj, \
+    invocation_energy_pj
+from .accounting import COMPONENTS, EnergyBreakdown, breakdown_from_stats
+from .cacti import (
+    TIMESTAMP_TAG_OVERHEAD,
+    cache_access_energy_pj,
+    llc_bank_access_energy_pj,
+    scratchpad_access_energy_pj,
+)
+
+__all__ = [
+    "area", "cacti", "FP_OP_PJ", "INT_OP_PJ", "compute_energy_pj",
+    "invocation_energy_pj", "COMPONENTS", "EnergyBreakdown",
+    "breakdown_from_stats", "TIMESTAMP_TAG_OVERHEAD",
+    "cache_access_energy_pj", "llc_bank_access_energy_pj",
+    "scratchpad_access_energy_pj",
+]

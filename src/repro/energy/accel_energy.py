@@ -1,0 +1,32 @@
+"""Aladdin-style activity-count energy model for the accelerator datapath.
+
+The paper (Section 4) uses per-operation energies from Aladdin's 45 nm
+model; the key published anchor is 0.5 pJ per integer add [Balfour].
+Fixed-function datapaths have no fetch/decode/register-file overhead, so
+compute energy is simply activity counts times per-op energy — which is
+exactly why data movement dominates and why the cache hierarchy matters.
+"""
+
+#: pJ per integer ALU operation (paper's cited anchor).
+INT_OP_PJ = 0.5
+
+#: pJ per floating-point operation.
+FP_OP_PJ = 2.0
+
+#: Fixed per-invocation control/sequencing energy, pJ.
+INVOCATION_OVERHEAD_PJ = 50.0
+
+
+def compute_energy_pj(int_ops, fp_ops):
+    """Datapath energy of a run of arithmetic operations."""
+    return int_ops * INT_OP_PJ + fp_ops * FP_OP_PJ
+
+
+def invocation_energy_pj(trace):
+    """Total compute energy of one function invocation's trace."""
+    int_ops = 0
+    fp_ops = 0
+    for op in trace.compute_ops():
+        int_ops += op.int_ops
+        fp_ops += op.fp_ops
+    return compute_energy_pj(int_ops, fp_ops) + INVOCATION_OVERHEAD_PJ

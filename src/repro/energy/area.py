@@ -1,0 +1,91 @@
+"""Area and static-power estimates for the accelerator tile.
+
+The paper sizes its wire-length (and hence link-energy) model from
+component areas ("Wire Length = 2 x sum(sqrt(Component_Area_i))",
+Section 4) and its results are dynamic-energy only.  This module fills
+in the rest of the floorplan picture: per-component SRAM area, the
+derived tile wire length, and a leakage estimate — useful for the
+design-space sweeps (a 256 kB L1X is not just 2x access energy, it is
+4x the leaking SRAM).
+"""
+
+from dataclasses import dataclass, field
+
+from .cacti import cache_area_mm2, wire_length_mm
+
+#: Static power density of 45 nm HP SRAM, mW per mm^2.  HP transistors
+#: leak heavily — the reason the paper's caches are specified as ITRS HP
+#: for speed but kept small.
+SRAM_LEAKAGE_MW_PER_MM2 = 60.0
+
+#: Fixed-function datapath area per accelerator, mm^2 (Aladdin-scale).
+AXC_DATAPATH_MM2 = 0.15
+
+#: Clock frequency used to convert leakage power to per-cycle energy.
+_CLOCK_GHZ = 2.0
+
+
+@dataclass
+class TileAreaReport:
+    """Component areas of one accelerator tile, mm^2."""
+
+    components: dict = field(default_factory=dict)
+
+    @property
+    def total_mm2(self):
+        return sum(self.components.values())
+
+    def wire_length_mm(self):
+        """The paper's dataflow-path wire length estimate."""
+        return wire_length_mm(self.components.values())
+
+    def leakage_mw(self):
+        """Static power of the tile's SRAM at 45 nm HP."""
+        sram = sum(area for name, area in self.components.items()
+                   if name != "datapaths")
+        return sram * SRAM_LEAKAGE_MW_PER_MM2
+
+    def leakage_pj_per_cycle(self):
+        """Leakage energy charged per simulated cycle."""
+        return self.leakage_mw() / _CLOCK_GHZ  # mW / GHz == pJ/cycle
+
+
+def tile_area(config, num_axcs, with_scratchpads=False):
+    """Build the :class:`TileAreaReport` for one tile configuration.
+
+    ``with_scratchpads`` reports the SCRATCH design's floorplan
+    (per-AXC scratchpads, no shared L1X) instead of FUSION's.
+    """
+    components = {"datapaths": num_axcs * AXC_DATAPATH_MM2}
+    if with_scratchpads:
+        components["scratchpads"] = num_axcs * cache_area_mm2(
+            config.tile.scratchpad.size_bytes)
+    else:
+        components["l0x"] = num_axcs * cache_area_mm2(
+            config.tile.l0x.size_bytes)
+        components["l1x"] = cache_area_mm2(config.tile.l1x.size_bytes)
+        # Translation structures: entry counts to SRAM-equivalent bytes.
+        components["ax_tlb"] = cache_area_mm2(config.tile.tlb_entries * 16)
+        components["ax_rmap"] = cache_area_mm2(
+            config.tile.rmap_entries * 12)
+    return TileAreaReport(components=components)
+
+
+def static_energy_pj(config, num_axcs, cycles, with_scratchpads=False):
+    """Leakage energy of the tile over ``cycles`` simulated cycles."""
+    report = tile_area(config, num_axcs, with_scratchpads)
+    return report.leakage_pj_per_cycle() * cycles
+
+
+def area_table(config, num_axcs):
+    """FUSION-vs-SCRATCH floorplan rows for reports."""
+    fusion = tile_area(config, num_axcs)
+    scratch = tile_area(config, num_axcs, with_scratchpads=True)
+    rows = []
+    for name, area in sorted(fusion.components.items()):
+        rows.append(("FUSION", name, area))
+    for name, area in sorted(scratch.components.items()):
+        rows.append(("SCRATCH", name, area))
+    rows.append(("FUSION", "TOTAL", fusion.total_mm2))
+    rows.append(("SCRATCH", "TOTAL", scratch.total_mm2))
+    return rows

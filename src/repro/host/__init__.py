@@ -1,0 +1,12 @@
+"""Host-side models: core phases and the oracle DMA controller."""
+
+from .core import HostCore
+from .dma import (
+    DmaWindow,
+    OracleDmaController,
+    ScratchpadAccessModel,
+    partition_windows,
+)
+
+__all__ = ["HostCore", "DmaWindow", "OracleDmaController",
+           "ScratchpadAccessModel", "partition_windows"]

@@ -1,0 +1,48 @@
+"""Host core phase model.
+
+The host matters to this study as the producer of accelerator inputs and
+the consumer of accelerator outputs: its loads and stores drive the MESI
+directory, pull data out of the accelerator tile (forwarded requests,
+AX-RMAP lookups, GTIME stalls) and populate the LLC that DMA reads from.
+Host phases run between accelerator invocations on the sequential
+program's critical path; the OOO core's memory parallelism (Table 2:
+4-wide, 32-entry load queue) lets per-block latencies overlap.
+"""
+
+from ..common.units import LINE_SIZE
+
+
+class HostCore:
+    """Trace-driven host phases: touch arrays through the MESI hierarchy."""
+
+    def __init__(self, config, host_mem, page_table, stats,
+                 overlap=4):
+        self.config = config
+        self.host_mem = host_mem
+        self.page_table = page_table
+        self.stats = stats.scope("host")
+        self.overlap = overlap
+
+    def _touch(self, base, size, now, is_store):
+        """Touch every line of ``[base, base+size)``; returns end time."""
+        accessor = (self.host_mem.host_store if is_store
+                    else self.host_mem.host_load)
+        latency_sum = 0
+        block = base - (base % LINE_SIZE)
+        while block < base + size:
+            paddr = self.page_table.translate(block)
+            latency_sum += accessor(paddr, now)
+            block += LINE_SIZE
+        elapsed = max(1, latency_sum // self.overlap)
+        self.stats.add("cycles", elapsed)
+        return now + elapsed
+
+    def produce(self, base, size, now):
+        """The host writes an input array (e.g. reads an image from IO)."""
+        self.stats.add("produce_phases")
+        return self._touch(base, size, now, is_store=True)
+
+    def consume(self, base, size, now):
+        """The host reads an output array (e.g. step3() in Figure 1)."""
+        self.stats.add("consume_phases")
+        return self._touch(base, size, now, is_store=False)

@@ -1,0 +1,6 @@
+"""Interconnect: energy-accounted links and the host NUCA ring."""
+
+from .link import Link, tile_links
+from .ring import RING_HOP_PJ_PER_BYTE, NucaRing
+
+__all__ = ["Link", "tile_links", "NucaRing", "RING_HOP_PJ_PER_BYTE"]

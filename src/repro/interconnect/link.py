@@ -1,0 +1,53 @@
+"""Point-to-point interconnect links with per-byte energy accounting.
+
+The paper's energy story hinges on three links (Table 2):
+
+* accelerator <-> shared L1X: 0.4 pJ/byte (short tile-internal wires)
+* shared L1X <-> host L2:     6 pJ/byte   (long cross-chip wires)
+* L0X <-> L0X forwarding:     0.1 pJ/byte (adjacent accelerators)
+
+Each link separately tracks control *messages* (requests, acks, eviction
+notices — Figure 6c's MSG series) and *data* transfers (Figure 6c's DATA
+series), because Lesson 4 is precisely that pull-based request messages
+can squander the energy a cache hierarchy saves.
+"""
+
+from ..common.units import CONTROL_MSG_SIZE, bytes_to_flits
+
+
+class Link:
+    """One direction-agnostic link; counts messages, bytes, flits, energy."""
+
+    def __init__(self, name, pj_per_byte, stats):
+        self.name = name
+        self.pj_per_byte = pj_per_byte
+        self.stats = stats.scope("link." + name)
+
+    def send_msg(self, num_bytes=CONTROL_MSG_SIZE):
+        """Transfer one control message (request/ack/eviction notice)."""
+        self.stats.add("msgs")
+        self.stats.add("msg_bytes", num_bytes)
+        self.stats.add("flits", bytes_to_flits(num_bytes))
+        self.stats.add("msg_energy_pj", num_bytes * self.pj_per_byte)
+
+    def send_data(self, num_bytes):
+        """Transfer a data payload (word response, line fill, writeback)."""
+        self.stats.add("data_transfers")
+        self.stats.add("data_bytes", num_bytes)
+        self.stats.add("flits", bytes_to_flits(num_bytes))
+        self.stats.add("data_energy_pj", num_bytes * self.pj_per_byte)
+
+    @property
+    def total_energy_pj(self):
+        return (self.stats.get("msg_energy_pj")
+                + self.stats.get("data_energy_pj"))
+
+
+def tile_links(link_config, stats):
+    """Construct the three standard links of an accelerator tile.
+
+    Returns ``(axc_l1x, l1x_l2, fwd)``.
+    """
+    return (Link("axc_l1x", link_config.axc_l1x_pj_per_byte, stats),
+            Link("l1x_l2", link_config.l1x_l2_pj_per_byte, stats),
+            Link("fwd", link_config.l0x_l0x_pj_per_byte, stats))

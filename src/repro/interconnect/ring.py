@@ -1,0 +1,51 @@
+"""The host's 8-tile NUCA ring (Table 2: "8 tile NUCA, ring, avg. 20 cycles").
+
+L2 banks are home-mapped by block address; a request from the requester
+node traverses the ring to the bank and back.  The base latency plus the
+average hop count reproduces the paper's 20-cycle average access.
+"""
+
+from ..common.units import LINE_SIZE
+
+#: pJ per byte per ring hop (short on-die segments).
+RING_HOP_PJ_PER_BYTE = 0.05
+
+
+class NucaRing:
+    """Bidirectional ring connecting NUCA L2 banks."""
+
+    def __init__(self, num_banks, stats, base_latency=16, hop_latency=2,
+                 requester_node=0):
+        self.num_banks = num_banks
+        self.base_latency = base_latency
+        self.hop_latency = hop_latency
+        self.requester_node = requester_node
+        self.stats = stats.scope("ring")
+
+    def bank_of(self, block):
+        """Home bank of a block (line-interleaved)."""
+        return (block // LINE_SIZE) % self.num_banks
+
+    def hops_to(self, bank):
+        """Minimum-direction hop count from the requester to ``bank``."""
+        distance = abs(bank - self.requester_node)
+        return min(distance, self.num_banks - distance)
+
+    def traverse(self, block, num_bytes=LINE_SIZE):
+        """Route one transfer to the block's home bank and back.
+
+        Returns the round-trip latency in cycles; records hop energy.
+        """
+        hops = self.hops_to(self.bank_of(block))
+        round_trip_hops = 2 * hops
+        self.stats.add("traversals")
+        self.stats.add("hops", round_trip_hops)
+        self.stats.add("energy_pj",
+                       round_trip_hops * num_bytes * RING_HOP_PJ_PER_BYTE)
+        return self.base_latency + round_trip_hops * self.hop_latency
+
+    def average_latency(self):
+        """Average round-trip latency over all banks (sanity anchor)."""
+        total = sum(self.base_latency + 2 * self.hops_to(b) * self.hop_latency
+                    for b in range(self.num_banks))
+        return total / self.num_banks

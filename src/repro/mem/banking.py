@@ -1,0 +1,48 @@
+"""Bank-conflict contention model for banked caches.
+
+Table 2's shared L1X is 16-banked; banking is where its access energy
+advantage comes from, but banks are also a *throughput* resource: two
+accesses landing in the same bank in the same cycle serialise.  With
+one accelerator running at a time the effect is negligible (accesses
+are already a cycle apart), which is why the default configuration
+leaves it off — but the FUSION-PIPE extension overlaps accelerators,
+and the SHARED design funnels every operation of every AXC through the
+one cache, so the knob exists (``model_bank_conflicts``).
+
+The model keeps a busy-until time per bank; an access that arrives
+while its bank is busy waits out the remainder and the wait is counted.
+"""
+
+
+class BankContention:
+    """Per-bank occupancy tracking with conflict accounting."""
+
+    def __init__(self, num_banks, occupancy, stats, name="banks"):
+        self.num_banks = max(1, num_banks)
+        self.occupancy = occupancy
+        self.stats = stats.scope(name)
+        self._busy_until = [0] * self.num_banks
+
+    def bank_of(self, set_index):
+        """Sets are interleaved across banks."""
+        return set_index % self.num_banks
+
+    def access(self, set_index, now):
+        """Occupy the bank serving ``set_index``; returns the conflict
+        delay (0 when the bank is free)."""
+        bank = self.bank_of(set_index)
+        start = self._busy_until[bank]
+        delay = max(0, start - now)
+        self._busy_until[bank] = max(now, start) + self.occupancy
+        self.stats.add("accesses")
+        if delay:
+            self.stats.add("conflicts")
+            self.stats.add("conflict_cycles", delay)
+        return delay
+
+    @property
+    def conflicts(self):
+        return self.stats.get("conflicts")
+
+    def reset(self):
+        self._busy_until = [0] * self.num_banks

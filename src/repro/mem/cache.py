@@ -1,0 +1,145 @@
+"""Generic set-associative cache model.
+
+One class serves every cache in the hierarchy — host L1, host L2 data
+array, accelerator L0X and shared L1X.  Coherence protocols layer their
+state on top of :class:`CacheLine` fields (``state`` for MESI,
+``lease``/``gtime`` for ACC) rather than subclassing, keeping the
+mechanical parts (indexing, LRU, eviction) in one tested place.
+"""
+
+from dataclasses import dataclass, field
+
+from ..common.errors import SimulationError
+from ..common.types import block_address
+
+
+@dataclass
+class CacheLine:
+    """One cache line's bookkeeping state.
+
+    Attributes:
+        block: line-aligned address (the tag).
+        dirty: set by stores under write-back policy.
+        pid: process id tag (the tile caches are virtually indexed and
+            PID-tagged so accelerators from different processes co-exist).
+        state: MESI/MEI state character for protocol-managed caches.
+        lease: ACC local timestamp (LTIME) — the line is valid until this
+            time; ``None`` for non-ACC caches.
+        gtime: ACC global timestamp (GTIME, L1X only) — the time by which
+            every L0X will have self-invalidated the line.
+        write_epoch_end: end of an ACC write epoch; the line is locked
+            until then (L1X only).
+        paddr: physical line address backing a virtually-indexed line
+            (L1X only; ``None`` for physically-indexed caches).
+    """
+
+    block: int
+    dirty: bool = False
+    pid: int = 0
+    state: str = "V"
+    lease: int = None
+    gtime: int = None
+    write_epoch_end: int = None
+    paddr: int = None
+    last_use: int = 0
+
+
+class SetAssocCache:
+    """A set-associative cache with true-LRU replacement.
+
+    The cache is a pure state container: it does not know about latency,
+    energy or coherence.  Systems compose it with the energy models and
+    protocol engines.
+    """
+
+    def __init__(self, config, name="cache"):
+        self.config = config
+        self.name = name
+        self._sets = [dict() for _ in range(config.num_sets)]
+        self._use_clock = 0
+
+    # -- indexing ---------------------------------------------------------
+
+    def _set_for(self, addr):
+        return self._sets[self.config.set_index(addr)]
+
+    def _tick(self):
+        self._use_clock += 1
+        return self._use_clock
+
+    # -- queries ----------------------------------------------------------
+
+    def lookup(self, addr, touch=True):
+        """Return the resident :class:`CacheLine` for ``addr`` or ``None``.
+
+        ``touch`` updates LRU state; pass ``False`` for protocol probes
+        that must not perturb replacement (e.g. forwarded-request checks).
+        """
+        block = block_address(addr, self.config.line_size)
+        line = self._set_for(addr).get(block)
+        if line is not None and touch:
+            line.last_use = self._tick()
+        return line
+
+    def contains(self, addr):
+        """Return whether ``addr``'s line is resident (no LRU update)."""
+        return self.lookup(addr, touch=False) is not None
+
+    def resident_blocks(self):
+        """Return a list of all resident line addresses."""
+        return [block for cache_set in self._sets for block in cache_set]
+
+    def lines(self):
+        """Iterate over all resident :class:`CacheLine` objects."""
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    @property
+    def occupancy(self):
+        return sum(len(cache_set) for cache_set in self._sets)
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, addr, **line_fields):
+        """Insert a line for ``addr``, returning the evicted line or None.
+
+        Raises if the line is already resident — callers must use
+        :meth:`lookup` first; double-insertion indicates a protocol bug.
+        """
+        block = block_address(addr, self.config.line_size)
+        cache_set = self._set_for(addr)
+        if block in cache_set:
+            raise SimulationError(
+                "{}: double insert of block {:#x}".format(self.name, block))
+        victim = None
+        if len(cache_set) >= self.config.ways:
+            victim = self._evict_lru(cache_set)
+        line = CacheLine(block=block, last_use=self._tick(), **line_fields)
+        cache_set[block] = line
+        return victim
+
+    def _evict_lru(self, cache_set):
+        lru_block = min(cache_set, key=lambda b: cache_set[b].last_use)
+        return cache_set.pop(lru_block)
+
+    def invalidate(self, addr):
+        """Remove ``addr``'s line, returning it (or ``None`` if absent)."""
+        block = block_address(addr, self.config.line_size)
+        return self._set_for(addr).pop(block, None)
+
+    def invalidate_all(self):
+        """Flush every line, returning the list of removed lines."""
+        removed = []
+        for cache_set in self._sets:
+            removed.extend(cache_set.values())
+            cache_set.clear()
+        return removed
+
+    def dirty_lines(self):
+        """Return all resident dirty lines."""
+        return [line for line in self.lines() if line.dirty]
+
+    def __repr__(self):
+        return "SetAssocCache({}, {}B, {}-way, {}/{} lines)".format(
+            self.name, self.config.size_bytes, self.config.ways,
+            self.occupancy, self.config.num_lines)

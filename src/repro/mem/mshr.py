@@ -1,0 +1,56 @@
+"""Miss Status Holding Registers.
+
+The accelerator cycle model uses an MSHR file to merge concurrent misses
+to the same block: only the primary miss pays the downstream access, and
+secondary misses complete when the primary's fill returns.  This mirrors
+the paper's "aggressive non-blocking interface to memory".
+"""
+
+from ..common.errors import SimulationError
+
+
+class MshrFile:
+    """Tracks outstanding misses, one entry per missing block."""
+
+    def __init__(self, num_entries=16, name="mshr"):
+        self.num_entries = num_entries
+        self.name = name
+        self._entries = {}
+
+    @property
+    def occupancy(self):
+        return len(self._entries)
+
+    @property
+    def full(self):
+        return self.occupancy >= self.num_entries
+
+    def outstanding(self, block):
+        """Return the fill-completion time for ``block`` or ``None``."""
+        return self._entries.get(block)
+
+    def allocate(self, block, complete_at):
+        """Allocate a primary-miss entry. Raises when full or duplicate."""
+        if self.full:
+            raise SimulationError("{}: allocation while full".format(self.name))
+        if block in self._entries:
+            raise SimulationError(
+                "{}: duplicate primary miss for {:#x}".format(
+                    self.name, block))
+        self._entries[block] = complete_at
+
+    def release_completed(self, now):
+        """Release entries whose fills have arrived by ``now``."""
+        done = [block for block, t in self._entries.items() if t <= now]
+        for block in done:
+            del self._entries[block]
+        return done
+
+    def earliest_completion(self):
+        """Return the soonest outstanding completion time, or ``None``."""
+        if not self._entries:
+            return None
+        return min(self._entries.values())
+
+    def clear(self):
+        self._entries.clear()

@@ -1,0 +1,56 @@
+"""AX-RMAP: the accelerator tile's reverse (physical-to-L1X) map.
+
+Forwarded MESI requests from the host's shared L2 arrive at the tile with
+*physical* addresses, but the shared L1X is virtually indexed.  Rather
+than widening every host coherence message with the virtual address, the
+paper dedicates a per-tile reverse map indexed by physical block address
+that stores a pointer to the L1X line (Section 3.2).  Table 6 counts its
+lookups.  The Appendix's synonym rule is also enforced here: at most one
+virtual synonym of any physical block may live in the tile.
+"""
+
+from ..common.types import block_address
+
+#: Per-lookup energy anchor (pJ).
+RMAP_LOOKUP_PJ = 1.5
+
+
+class AxRmap:
+    """Maps physical block address to the virtual block cached in the L1X."""
+
+    def __init__(self, stats):
+        self.stats = stats.scope("ax_rmap")
+        self._map = {}
+
+    def record_fill(self, pblock, vblock):
+        """Record that physical block ``pblock`` is cached as ``vblock``.
+
+        Returns the previously-mapped virtual synonym when a different
+        virtual address already maps to this physical block — the caller
+        must evict the duplicate (only one synonym permitted in the tile).
+        """
+        pblock = block_address(pblock)
+        vblock = block_address(vblock)
+        previous = self._map.get(pblock)
+        self._map[pblock] = vblock
+        if previous is not None and previous != vblock:
+            self.stats.add("synonym_evictions")
+            return previous
+        return None
+
+    def lookup(self, pblock):
+        """Translate a forwarded request's physical block to its virtual
+        block in the L1X; counts the lookup.  Returns ``None`` when the
+        tile does not cache the block (should not happen — the host
+        directory filters requests — but forwarding races are tolerated)."""
+        self.stats.add("lookups")
+        self.stats.add("energy_pj", RMAP_LOOKUP_PJ)
+        return self._map.get(block_address(pblock))
+
+    def remove(self, pblock):
+        """Drop the mapping when the L1X evicts the line."""
+        self._map.pop(block_address(pblock), None)
+
+    @property
+    def occupancy(self):
+        return len(self._map)

@@ -1,0 +1,10 @@
+"""Simulation driver, results, experiments and reporting."""
+
+from . import charts, export, sweep, validate
+from .experiments import ALL_EXPERIMENTS
+from .reporting import ExperimentTable
+from .results import RunResult
+from .simulator import FIGURE6_SYSTEMS, clear_cache, run, run_all
+
+__all__ = ["charts", "export", "sweep", "validate", "ALL_EXPERIMENTS", "ExperimentTable", "RunResult",
+           "FIGURE6_SYSTEMS", "clear_cache", "run", "run_all"]

@@ -1,0 +1,94 @@
+"""Terminal charts: render the paper's figures as unicode bar charts.
+
+Figure 6a is a stacked-bar energy chart and Figure 6b a grouped-bar
+performance chart; these helpers draw faithful text versions so the CLI
+and examples can show the *picture*, not just the rows.
+"""
+
+#: Glyph per energy component, in stacking order.
+STACK_GLYPHS = (
+    ("local", "#"),
+    ("l1x", "@"),
+    ("l2", "%"),
+    ("dram", "D"),
+    ("link_axc_l1x_msg", "-"),
+    ("link_axc_l1x_data", "="),
+    ("link_fwd", ">"),
+    ("link_l1x_l2", "+"),
+    ("xlat", "x"),
+    ("compute", "."),
+)
+
+
+def hbar(value, scale, width=50, glyph="#"):
+    """One horizontal bar: ``value`` rendered against ``scale``."""
+    if scale <= 0:
+        return ""
+    length = int(round(width * value / scale))
+    return glyph * max(0, min(width, length))
+
+
+def stacked_bar(components, scale, width=50):
+    """A stacked horizontal bar from an energy-component dict."""
+    if scale <= 0:
+        return ""
+    bar = []
+    carried = 0.0
+    for key, glyph in STACK_GLYPHS:
+        carried += components.get(key, 0.0)
+        target = int(round(width * carried / scale))
+        bar.extend(glyph * (target - len(bar)))
+    return "".join(bar[:width])
+
+
+def bar_chart(rows, width=50, label_width=18):
+    """Render ``[(label, value), ...]`` as an aligned bar chart."""
+    if not rows:
+        return ""
+    scale = max(value for _, value in rows) or 1.0
+    lines = []
+    for label, value in rows:
+        lines.append("{:<{lw}s} {:>8.2f} |{}".format(
+            label, value, hbar(value, scale, width), lw=label_width))
+    return "\n".join(lines)
+
+
+def stacked_chart(rows, width=50, label_width=18):
+    """Render ``[(label, components_dict), ...]`` as stacked bars,
+    all scaled to the largest total."""
+    if not rows:
+        return ""
+    scale = max(sum(components.values())
+                for _, components in rows) or 1.0
+    lines = []
+    for label, components in rows:
+        total = sum(components.values())
+        lines.append("{:<{lw}s} {:>8.2f} |{}".format(
+            label, total, stacked_bar(components, scale, width),
+            lw=label_width))
+    legend = "legend: " + "  ".join(
+        "{}={}".format(glyph, key) for key, glyph in STACK_GLYPHS)
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def figure6a_chart(results_by_benchmark, width=44):
+    """The Figure 6a picture: per benchmark, one stacked bar per system
+    normalised to that benchmark's SCRATCH total.
+
+    ``results_by_benchmark`` maps label -> {system: RunResult}.
+    """
+    lines = []
+    for label, results in results_by_benchmark.items():
+        base = results["SCRATCH"].energy.total_pj or 1.0
+        lines.append(label)
+        for system, result in results.items():
+            normalised = {key: value / base for key, value
+                          in result.energy.components.items()}
+            lines.append("  {:<10s} {:>5.2f} |{}".format(
+                system, sum(normalised.values()),
+                stacked_bar(normalised, 1.0, width)))
+    legend = "legend: " + "  ".join(
+        "{}={}".format(glyph, key) for key, glyph in STACK_GLYPHS)
+    lines.append(legend)
+    return "\n".join(lines)

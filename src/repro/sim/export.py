@@ -1,0 +1,86 @@
+"""Result export: experiment tables and run results as CSV or JSON.
+
+The text renderer (:mod:`repro.sim.reporting`) targets terminals; this
+module targets downstream analysis — spreadsheets, plotting scripts, or
+regression dashboards diffing two simulator versions.
+"""
+
+import csv
+import io
+import json
+
+
+def table_to_csv(table):
+    """Render an :class:`ExperimentTable` as a CSV string."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(table.headers)
+    writer.writerows(table.rows)
+    return buffer.getvalue()
+
+
+def table_to_dict(table):
+    """Render an :class:`ExperimentTable` as a JSON-ready dict."""
+    return {
+        "id": table.exp_id,
+        "title": table.title,
+        "headers": list(table.headers),
+        "rows": [list(row) for row in table.rows],
+        "notes": list(table.notes),
+    }
+
+
+def table_to_json(table, indent=2):
+    return json.dumps(table_to_dict(table), indent=indent)
+
+
+def result_to_dict(result, include_stats=False):
+    """Flatten a :class:`RunResult` for export.
+
+    ``include_stats`` adds the full raw counter map (large).
+    """
+    payload = {
+        "system": result.system,
+        "benchmark": result.benchmark,
+        "config": result.config_name,
+        "accel_cycles": result.accel_cycles,
+        "total_cycles": result.total_cycles,
+        "energy_pj": result.energy.total_pj,
+        "energy_components_pj": dict(result.energy.components),
+        "dma_kb": result.dma_kb,
+        "dma_count": result.dma_count,
+        "axc_link_msgs": result.axc_link_msgs,
+        "axc_link_data": result.axc_link_data,
+        "tile_l2_msgs": result.tile_l2_msgs,
+        "tile_l2_data": result.tile_l2_data,
+        "ax_tlb_lookups": result.ax_tlb_lookups,
+        "ax_rmap_lookups": result.ax_rmap_lookups,
+        "forwarded_lines": result.forwarded_lines,
+    }
+    if include_stats:
+        payload["stats"] = dict(result.stats)
+    return payload
+
+
+def result_to_json(result, include_stats=False, indent=2):
+    return json.dumps(result_to_dict(result, include_stats),
+                      indent=indent)
+
+
+def results_to_csv(results):
+    """Render a list of :class:`RunResult` as one comparison CSV."""
+    if not results:
+        return ""
+    rows = [result_to_dict(result) for result in results]
+    component_keys = sorted(rows[0]["energy_components_pj"])
+    headers = [key for key in rows[0] if key != "energy_components_pj"]
+    headers += ["energy_{}_pj".format(key) for key in component_keys]
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    for row in rows:
+        components = row.pop("energy_components_pj")
+        writer.writerow([row[key] for key in row]
+                        + [components.get(key, 0.0)
+                           for key in component_keys])
+    return buffer.getvalue()

@@ -1,0 +1,59 @@
+"""Plain-text rendering of experiment tables.
+
+Every experiment returns an :class:`ExperimentTable`; this module turns
+them into aligned monospace tables (what the benchmark harness prints
+under each paper table/figure id).
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentTable:
+    """One regenerated table or figure."""
+
+    exp_id: str
+    title: str
+    headers: list
+    rows: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    def add_row(self, *cells):
+        self.rows.append([_fmt(cell) for cell in cells])
+
+    def add_note(self, note):
+        self.notes.append(note)
+
+    def render(self):
+        """Return the aligned plain-text rendering."""
+        headers = [str(h) for h in self.headers]
+        widths = [len(h) for h in headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = ["== {} : {} ==".format(self.exp_id, self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(w)
+                                   for cell, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append("note: {}".format(note))
+        return "\n".join(lines)
+
+    def column(self, header):
+        """Return one column's cells by header name."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+
+def _fmt(cell):
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return "{:.0f}".format(cell)
+        if abs(cell) >= 10:
+            return "{:.1f}".format(cell)
+        return "{:.2f}".format(cell)
+    return str(cell)

@@ -1,0 +1,47 @@
+"""Top-level simulation driver.
+
+``run(system, benchmark)`` builds the workload, assembles the system and
+executes it, returning a :class:`repro.sim.results.RunResult`.  Results
+are memoised — every experiment that needs the same (system, benchmark,
+size, config) triple shares one simulation, which is what makes the
+full table/figure suite affordable.
+"""
+
+from functools import lru_cache
+
+from ..common.config import small_config
+from ..common.errors import ConfigError
+from ..systems import SYSTEMS
+from ..workloads.registry import build_workload
+
+#: The three systems compared in Figure 6 (FUSION-Dx is studied
+#: separately in Table 5).
+FIGURE6_SYSTEMS = ("SCRATCH", "SHARED", "FUSION")
+
+
+def run(system_name, benchmark, size="full", config=None):
+    """Run one system on one benchmark; returns a :class:`RunResult`."""
+    if config is None:
+        config = small_config()
+    return _run_cached(system_name, benchmark, size, config)
+
+
+@lru_cache(maxsize=None)
+def _run_cached(system_name, benchmark, size, config):
+    if system_name not in SYSTEMS:
+        raise ConfigError(
+            "unknown system {!r}; expected one of {}".format(
+                system_name, ", ".join(SYSTEMS)))
+    workload = build_workload(benchmark, size)
+    system = SYSTEMS[system_name](config, workload)
+    return system.run()
+
+
+def run_all(benchmark, size="full", config=None, systems=FIGURE6_SYSTEMS):
+    """Run several systems on one benchmark; returns {system: result}."""
+    return {name: run(name, benchmark, size, config) for name in systems}
+
+
+def clear_cache():
+    """Drop memoised results (used by tests that mutate global models)."""
+    _run_cached.cache_clear()

@@ -1,0 +1,121 @@
+"""Design-space sweep utilities.
+
+The simulator exists to make studies like Figure 7 cheap; this module
+makes them one-liners.  A sweep is a grid of configuration transforms
+evaluated over systems and benchmarks, returning an
+:class:`ExperimentTable` plus the raw results for programmatic use.
+
+Example::
+
+    from repro.sim.sweep import sweep, lease_axis, config_axis
+
+    table, results = sweep(
+        systems=("FUSION",),
+        benchmarks=("filter",),
+        axes=[lease_axis(100, 500, 2000)],
+        metrics=("accel_cycles", "energy_uj"),
+    )
+"""
+
+from dataclasses import replace
+
+from ..common.config import CacheConfig, small_config
+from ..common.units import KB
+from .reporting import ExperimentTable
+from .simulator import run
+
+#: Metric extractors available to sweeps.
+METRICS = {
+    "accel_cycles": lambda r: r.accel_cycles,
+    "total_cycles": lambda r: r.total_cycles,
+    "energy_uj": lambda r: r.energy.total_pj / 1e6,
+    "cache_compute_ratio": lambda r: r.energy.cache_to_compute_ratio(),
+    "l1x_misses": lambda r: r.stat("l1x.misses"),
+    "dma_kb": lambda r: r.dma_kb,
+    "axc_link_msgs": lambda r: r.axc_link_msgs,
+    "link_utilization": lambda r: r.link_utilization(),
+    "edp": lambda r: r.edp,
+}
+
+
+def config_axis(name, transforms):
+    """A sweep axis: ``transforms`` maps point-label -> config transform
+    (a callable ``config -> config``)."""
+    return (name, list(transforms.items()))
+
+
+def lease_axis(*leases):
+    """Axis over ACC lease lengths."""
+    return config_axis("lease", {
+        str(lease): (lambda cfg, value=lease: cfg.with_lease(value))
+        for lease in leases})
+
+
+def l0x_axis(*sizes_kb):
+    """Axis over L0X capacities (kB)."""
+
+    def transform(config, size_kb):
+        tile = replace(config.tile, l0x=CacheConfig(
+            size_kb * KB, 4, hit_latency=1, timestamp_bits=32))
+        return replace(config, tile=tile)
+
+    return config_axis("l0x_kb", {
+        str(size): (lambda cfg, value=size: transform(cfg, value))
+        for size in sizes_kb})
+
+
+def l1x_axis(*sizes_kb):
+    """Axis over shared-L1X capacities (kB)."""
+
+    def transform(config, size_kb):
+        tile = replace(config.tile, l1x=CacheConfig(
+            size_kb * KB, 8, banks=16,
+            hit_latency=4 + (size_kb // 128), timestamp_bits=32))
+        return replace(config, tile=tile)
+
+    return config_axis("l1x_kb", {
+        str(size): (lambda cfg, value=size: transform(cfg, value))
+        for size in sizes_kb})
+
+
+def _grid(axes):
+    """Yield (labels_tuple, transforms_tuple) over the axis product."""
+    if not axes:
+        yield (), ()
+        return
+    name, points = axes[0]
+    for label, transform in points:
+        for labels, transforms in _grid(axes[1:]):
+            yield (label,) + labels, (transform,) + transforms
+
+
+def sweep(systems, benchmarks, axes, metrics=("accel_cycles",
+                                              "energy_uj"),
+          size="small", base_config=None):
+    """Run the grid; returns ``(ExperimentTable, {key: RunResult})``.
+
+    ``key`` is ``(system, benchmark) + axis_labels``.
+    """
+    for metric in metrics:
+        if metric not in METRICS:
+            raise KeyError("unknown metric {!r}; choose from {}".format(
+                metric, ", ".join(sorted(METRICS))))
+    base_config = base_config or small_config()
+    axis_names = [name for name, _ in axes]
+    table = ExperimentTable(
+        "Sweep", "design-space sweep (size={})".format(size),
+        ["System", "Benchmark"] + axis_names + list(metrics))
+    results = {}
+    for system in systems:
+        for benchmark in benchmarks:
+            for labels, transforms in _grid(axes):
+                config = base_config
+                for transform in transforms:
+                    config = transform(config)
+                config = replace(config, name="sweep:" + ":".join(
+                    labels) if labels else config.name)
+                result = run(system, benchmark, size, config)
+                results[(system, benchmark) + labels] = result
+                table.add_row(system, benchmark, *labels,
+                              *[METRICS[m](result) for m in metrics])
+    return table, results

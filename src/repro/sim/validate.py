@@ -1,0 +1,94 @@
+"""Post-run consistency validation.
+
+A simulator's statistics are only as trustworthy as their internal
+consistency.  :func:`validate` cross-checks a :class:`RunResult` against
+the conservation laws the models must obey — access accounting, byte/flit
+arithmetic, energy-component coverage — and returns a list of violation
+strings (empty = clean).  The test suite runs it on every system; users
+can run it on their own configurations via ``check_or_raise``.
+"""
+
+from ..common.errors import SimulationError
+from ..common.units import FLIT_SIZE
+
+
+def _close(a, b, tolerance=1e-6):
+    return abs(a - b) <= tolerance * max(1.0, abs(a), abs(b))
+
+
+def validate(result):
+    """Return a list of consistency-violation descriptions."""
+    violations = []
+    stats = result.stats
+
+    def stat(name):
+        return stats.get(name, 0)
+
+    # -- cycles are sane ----------------------------------------------------
+    if result.accel_cycles <= 0:
+        violations.append("non-positive accelerator cycle count")
+    if result.total_cycles < result.accel_cycles:
+        violations.append("total cycles below accelerator cycles")
+
+    # -- per-L0X hit/miss accounting -----------------------------------------
+    axc = 0
+    while "l0x.axc{}.accesses".format(axc) in stats:
+        prefix = "l0x.axc{}.".format(axc)
+        accesses = stat(prefix + "accesses")
+        hits = stat(prefix + "hits")
+        misses = stat(prefix + "misses")
+        if hits + misses != accesses:
+            violations.append(
+                "axc{}: hits({}) + misses({}) != accesses({})".format(
+                    axc, hits, misses, accesses))
+        axc += 1
+
+    # -- L1X accounting --------------------------------------------------------
+    l1x_hits = stat("l1x.hits")
+    l1x_misses = stat("l1x.misses")
+    epochs = stat("l1x.read_epochs") + stat("l1x.write_epochs")
+    if epochs and l1x_hits + l1x_misses != epochs:
+        violations.append(
+            "L1X epochs({}) != hits({}) + misses({})".format(
+                epochs, l1x_hits, l1x_misses))
+
+    # -- link byte/flit arithmetic ----------------------------------------------
+    for link in ("axc_l1x", "l1x_l2", "fwd"):
+        total_bytes = (stat("link.{}.msg_bytes".format(link))
+                       + stat("link.{}.data_bytes".format(link)))
+        flits = stat("link.{}.flits".format(link))
+        if flits and not _close(flits, -(-total_bytes // FLIT_SIZE),
+                                tolerance=0.01):
+            violations.append(
+                "link {}: {} flits vs {} bytes".format(
+                    link, flits, total_bytes))
+
+    # -- DMA byte accounting ------------------------------------------------------
+    dma_blocks = stat("dma.blocks_in") + stat("dma.blocks_out")
+    dma_bytes = stat("dma.bytes_in") + stat("dma.bytes_out")
+    if dma_blocks and dma_bytes != dma_blocks * 64:
+        violations.append("DMA bytes({}) != 64 * blocks({})".format(
+            dma_bytes, dma_blocks))
+
+    # -- energy components are non-negative and cover the total --------------------
+    for name, value in result.energy.components.items():
+        if value < 0:
+            violations.append(
+                "negative energy component {}: {}".format(name, value))
+    if result.energy.total_pj < 0:
+        violations.append("negative total energy")
+
+    # -- protocol safety nets stayed quiet -------------------------------------------
+    if stat("l1x.fwd_misses") > stat("mesi.fwd_to_tile"):
+        violations.append("more forward misses than forwards")
+
+    return violations
+
+
+def check_or_raise(result):
+    """Raise :class:`SimulationError` when validation fails."""
+    violations = validate(result)
+    if violations:
+        raise SimulationError(
+            "inconsistent run result:\n  " + "\n  ".join(violations))
+    return result

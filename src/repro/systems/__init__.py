@@ -1,0 +1,24 @@
+"""The four evaluated system designs."""
+
+from .base import BaseSystem
+from .fusion import FusionSystem
+from .fusion_dx import FusionDxSystem
+from .ideal import IdealSystem
+from .pipelined import PipelinedFusionSystem
+from .scratch import ScratchSystem
+from .shared import SharedSystem
+
+#: Registry keyed by the names used throughout the paper's figures,
+#: plus the analysis/extension systems (IDEAL bound, pipelined tile).
+SYSTEMS = {
+    "SCRATCH": ScratchSystem,
+    "SHARED": SharedSystem,
+    "FUSION": FusionSystem,
+    "FUSION-Dx": FusionDxSystem,
+    "IDEAL": IdealSystem,
+    "FUSION-PIPE": PipelinedFusionSystem,
+}
+
+__all__ = ["BaseSystem", "FusionSystem", "FusionDxSystem", "IdealSystem",
+           "PipelinedFusionSystem", "ScratchSystem", "SharedSystem",
+           "SYSTEMS"]

@@ -1,0 +1,35 @@
+"""FUSION: the paper's proposed multi-level coherent accelerator hierarchy.
+
+Per-accelerator private L0X caches (scratchpad-sized, write-caching) over
+a banked shared L1X, kept coherent inside the tile by the timestamp-based
+ACC protocol and integrated with host MESI at the L1X (MEI states,
+AX-TLB on the miss path, AX-RMAP for forwarded requests).  The L0X
+captures each function's locality at scratchpad-like cost (Lessons 2-3);
+the L1X captures inter-function sharing without any DMA ping-pong
+(Lesson 1); coherence is maintained without invalidation traffic.
+"""
+
+from ..accel.tile import AcceleratorTile
+from .base import BaseSystem
+
+
+class FusionSystem(BaseSystem):
+    """FUSION (L0X + L1X under ACC)."""
+
+    name = "FUSION"
+
+    def _build(self):
+        self.tile = AcceleratorTile(
+            self.config, self.host_mem, self.page_table,
+            self.workload.num_axcs, self.stats)
+
+    def _forward_plan_for(self, index):
+        """FUSION proper never forwards; FUSION-Dx overrides this."""
+        return None
+
+    def _run_invocation(self, index, trace, now):
+        lease = self.config.tile.lease_override or trace.lease_time
+        return self.tile.run_invocation(
+            self._axc_of(trace), trace, now, self._mlp(trace),
+            lease=lease,
+            forward_plan=self._forward_plan_for(index))

@@ -1,0 +1,26 @@
+"""FUSION-Dx: FUSION plus direct L0X-to-L0X write forwarding.
+
+The trace post-pass (:mod:`repro.workloads.forwarding`) identifies the
+producer-consumer stores; at the end of each producer invocation the
+listed dirty lines are pushed straight into the consumer accelerator's
+L0X over the cheap 0.1 pJ/byte forwarding link, carrying their existing
+lease.  Each forwarded line saves one writeback to the L1X, one epoch
+request, and one L1X read + line response (Table 5's accounting), at
+the price of one L0X->L0X transfer.
+"""
+
+from ..workloads.forwarding import forwarding_plan
+from .fusion import FusionSystem
+
+
+class FusionDxSystem(FusionSystem):
+    """FUSION with ACC write forwarding enabled."""
+
+    name = "FUSION-Dx"
+
+    def _build(self):
+        super()._build()
+        self._plan = forwarding_plan(self.workload)
+
+    def _forward_plan_for(self, index):
+        return self._plan.get(index)

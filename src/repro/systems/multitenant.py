@@ -1,0 +1,111 @@
+"""Multi-tenant FUSION: two processes' accelerators on one tile.
+
+Section 3.2: "Process id (PID) tags are added to the L0Xs and L1Xs to
+ensure that accelerators executing functions from different processes
+can co-exist on the same tile", and the Appendix forbids cross-process
+data sharing.  This system exercises exactly that: each workload gets
+its own page table, PID, and accelerator set; the shared, virtually
+indexed L1X is PID-tagged, so same-virtual-address lines from different
+processes conflict (counted as ``l1x.pid_conflicts``) instead of
+aliasing.
+
+The sequential programs time-share the tile: their invocation streams
+interleave round-robin, the OS-level context-switch granularity the
+paper's offloading model implies.
+"""
+
+from ..accel.tile import AcceleratorTile
+from ..common.stats import StatsRegistry
+from ..coherence.mesi import HostMemorySystem
+from ..host.core import HostCore
+from ..mem.tlb import PageTable
+from ..sim.results import RunResult
+from ..workloads.characterize import function_mlp
+
+
+class MultiTenantFusionSystem:
+    """FUSION with several workloads co-resident on one tile."""
+
+    name = "FUSION-MT"
+
+    def __init__(self, config, workloads):
+        if not workloads:
+            raise ValueError("at least one workload required")
+        self.config = config
+        self.workloads = list(workloads)
+        self.stats = StatsRegistry()
+        self.host_mem = HostMemorySystem(config, self.stats)
+        self.page_tables = [PageTable(pid=pid)
+                            for pid in range(len(self.workloads))]
+        self.host_cores = [
+            HostCore(config, self.host_mem, page_table, self.stats)
+            for page_table in self.page_tables
+        ]
+        total_axcs = sum(w.num_axcs for w in self.workloads)
+        self.tile = AcceleratorTile(config, self.host_mem,
+                                    self.page_tables[0], total_axcs,
+                                    self.stats)
+        for page_table in self.page_tables[1:]:
+            self.tile.l1x.register_process(page_table)
+        # Each process owns a contiguous slice of the tile's AXCs.
+        self._axc_base = []
+        base = 0
+        for pid, workload in enumerate(self.workloads):
+            self._axc_base.append(base)
+            for axc in range(base, base + workload.num_axcs):
+                self.tile.l0xs[axc].pid = pid
+            base += workload.num_axcs
+        self._mlp = [function_mlp(w) for w in self.workloads]
+
+    def _interleaved(self):
+        """Round-robin interleave of all processes' invocations."""
+        cursors = [0] * len(self.workloads)
+        remaining = sum(len(w.invocations) for w in self.workloads)
+        while remaining:
+            for pid, workload in enumerate(self.workloads):
+                if cursors[pid] < len(workload.invocations):
+                    yield pid, workload.invocations[cursors[pid]]
+                    cursors[pid] += 1
+                    remaining -= 1
+
+    def run(self):
+        """Execute all workloads time-shared; returns a RunResult."""
+        now = 0
+        for pid, workload in enumerate(self.workloads):
+            for base, size in workload.array_ranges.values():
+                now = self.host_cores[pid].produce(base, size, now)
+        produce_snapshot = self.stats.snapshot()
+        accel_start = now
+        for pid, trace in self._interleaved():
+            axc = (self._axc_base[pid]
+                   + self.workloads[pid].axc_of(trace.name))
+            mlp = self._mlp[pid].get(trace.name, 2.0)
+            start_snapshot = self.stats.snapshot()
+            end = self.tile.run_invocation(axc, trace, now, mlp,
+                                           lease=trace.lease_time)
+            delta = self.stats.diff(start_snapshot)
+            energy = sum(value for key, value in delta.items()
+                         if key.endswith("energy_pj"))
+            self.stats.add("invocation.{}.cycles".format(trace.name),
+                           end - now)
+            self.stats.add("invocation.{}.energy_pj".format(trace.name),
+                           energy)
+            self.stats.add("invocation.{}.count".format(trace.name))
+            now = end
+        accel_cycles = now - accel_start
+        for pid, workload in enumerate(self.workloads):
+            for base, size in workload.host_output_arrays:
+                now = self.host_cores[pid].consume(base, size, now)
+        # Reuse RunResult via a light shim: this system is not a
+        # BaseSystem but exposes the fields from_system needs.
+        self.workload = _MergedWorkloadView(self.workloads)
+        return RunResult.from_system(self, accel_cycles=accel_cycles,
+                                     total_cycles=now,
+                                     energy_baseline=produce_snapshot)
+
+
+class _MergedWorkloadView:
+    """Just enough of a WorkloadTrace for result reporting."""
+
+    def __init__(self, workloads):
+        self.benchmark = "+".join(w.benchmark for w in workloads)

@@ -1,0 +1,101 @@
+"""Multi-tile FUSION: one accelerator tile per application.
+
+Section 3.1: "The system can support multiple accelerator tiles."  The
+paper evaluates one tile and collocates each application's accelerators
+on it; the natural SoC-provisioning question is what changes when
+co-resident applications get a tile *each* instead of time-sharing one
+(:class:`repro.systems.multitenant.MultiTenantFusionSystem`):
+
+* no shared-L1X interference — the PID-conflict evictions disappear
+  (each tile's virtually indexed caches see one process);
+* each tile is its own MESI agent at the host L2; inter-tile
+  exclusivity is enforced by the directory (a fetch for one tile
+  recalls any other tile's copy — unused here because processes never
+  share frames, but exercised by the tests);
+* double the tile SRAM area and leakage (see ``repro.energy.area``).
+
+Each tile's statistics are namespaced (``tile0.l1x.*``, ...); the
+energy accounting layer folds the namespaces back into the standard
+components.
+"""
+
+from ..accel.tile import AcceleratorTile
+from ..common.stats import StatsRegistry
+from ..coherence.mesi import HostMemorySystem
+from ..host.core import HostCore
+from ..mem.tlb import PageTable
+from ..sim.results import RunResult
+from ..workloads.characterize import function_mlp
+
+
+class MultiTileFusionSystem:
+    """FUSION with one tile (and one process) per workload."""
+
+    name = "FUSION-2T"
+
+    def __init__(self, config, workloads):
+        if not workloads:
+            raise ValueError("at least one workload required")
+        self.config = config
+        self.workloads = list(workloads)
+        self.stats = StatsRegistry()
+        self.host_mem = HostMemorySystem(config, self.stats)
+        self.page_tables = [PageTable(pid=pid)
+                            for pid in range(len(self.workloads))]
+        self.host_cores = [
+            HostCore(config, self.host_mem, page_table, self.stats)
+            for page_table in self.page_tables
+        ]
+        self.tiles = [
+            AcceleratorTile(config, self.host_mem,
+                            self.page_tables[index],
+                            workload.num_axcs,
+                            self.stats.scope("tile{}".format(index)),
+                            name="tile{}".format(index))
+            for index, workload in enumerate(self.workloads)
+        ]
+        # Each tile serves exactly one process.
+        for index, tile in enumerate(self.tiles):
+            for l0x in tile.l0xs:
+                l0x.pid = index
+        self._mlp = [function_mlp(w) for w in self.workloads]
+
+    def _interleaved(self):
+        cursors = [0] * len(self.workloads)
+        remaining = sum(len(w.invocations) for w in self.workloads)
+        while remaining:
+            for index, workload in enumerate(self.workloads):
+                if cursors[index] < len(workload.invocations):
+                    yield index, workload.invocations[cursors[index]]
+                    cursors[index] += 1
+                    remaining -= 1
+
+    def run(self):
+        """Execute all workloads, one tile each; returns a RunResult."""
+        now = 0
+        for index, workload in enumerate(self.workloads):
+            for base, size in workload.array_ranges.values():
+                now = self.host_cores[index].produce(base, size, now)
+        produce_snapshot = self.stats.snapshot()
+        accel_start = now
+        for index, trace in self._interleaved():
+            tile = self.tiles[index]
+            axc = self.workloads[index].axc_of(trace.name)
+            mlp = self._mlp[index].get(trace.name, 2.0)
+            now = tile.run_invocation(axc, trace, now, mlp,
+                                      lease=trace.lease_time)
+        accel_cycles = now - accel_start
+        for index, workload in enumerate(self.workloads):
+            for base, size in workload.host_output_arrays:
+                now = self.host_cores[index].consume(base, size, now)
+        self.workload = _MergedView(self.workloads)
+        return RunResult.from_system(self, accel_cycles=accel_cycles,
+                                     total_cycles=now,
+                                     energy_baseline=produce_snapshot)
+
+
+class _MergedView:
+    """Just enough of a WorkloadTrace for result reporting."""
+
+    def __init__(self, workloads):
+        self.benchmark = "|".join(w.benchmark for w in workloads)

@@ -1,0 +1,63 @@
+"""The SCRATCH baseline: per-accelerator scratchpads fed by oracle DMA.
+
+This models the ARM/IBM-style coherent-DMA integration (Section 2.1):
+each accelerator owns a small scratchpad; before each execution window
+the DMA engine pushes exactly the blocks the window will read from the
+LLC, and after it drains exactly the dirty blocks back.  Data shared
+between accelerators ping-pongs through the host L2 — the pathological
+traffic Figure 6d quantifies (DMA kB many times the working set).
+"""
+
+from ..accel.core import AxcCore
+from ..common.types import FunctionTrace
+from ..host.dma import OracleDmaController, ScratchpadAccessModel, \
+    partition_windows
+from ..mem.scratchpad import Scratchpad
+from .base import BaseSystem
+
+
+class ScratchSystem(BaseSystem):
+    """Oracle-DMA scratchpad design (the paper's normalisation baseline)."""
+
+    name = "SCRATCH"
+
+    def _build(self):
+        num_axcs = self.workload.num_axcs
+        self.scratchpads = [
+            Scratchpad(self.config.tile.scratchpad,
+                       name="sp{}".format(i))
+            for i in range(num_axcs)
+        ]
+        self.access_models = [
+            ScratchpadAccessModel(self.config, sp, self.stats)
+            for sp in self.scratchpads
+        ]
+        self.cores = [AxcCore(i, self.stats) for i in range(num_axcs)]
+        self.dma = OracleDmaController(self.config, self.host_mem,
+                                       self.page_table, self.stats)
+        # Push-based DMA double-buffers: half the scratchpad holds the
+        # live window while the other half stages the next transfer, so
+        # a window may only pin half the blocks.
+        blocks = self.config.tile.scratchpad.num_blocks
+        if self.config.dma.double_buffered:
+            blocks //= 2
+        self._capacity = max(1, blocks)
+
+    def _run_invocation(self, index, trace, now):
+        axc = self._axc_of(trace)
+        scratchpad = self.scratchpads[axc]
+        model = self.access_models[axc]
+        core = self.cores[axc]
+        mlp = self._mlp(trace)
+        windows = partition_windows(trace, self._capacity)
+        self.stats.add("dma.windows", len(windows))
+        for window_index, window in enumerate(windows):
+            now += self.dma.transfer_in(window.in_blocks, scratchpad, now)
+            window_trace = FunctionTrace(
+                name=trace.name, benchmark=trace.benchmark,
+                ops=window.ops, lease_time=trace.lease_time)
+            now = core.run(window_trace, now, model.access, mlp,
+                           charge_invocation=(window_index == 0))
+            dirty = scratchpad.drain()
+            now += self.dma.transfer_out(dirty, now)
+        return now

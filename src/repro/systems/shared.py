@@ -1,0 +1,34 @@
+"""The SHARED baseline: one L1X shared by every accelerator in the tile.
+
+Models the at-the-core / coprocessor-dominated designs (Dyser, Zheng et
+al.): no private caches — every accelerator memory operation crosses the
+tile switch to the banked shared cache, which participates in MESI as an
+ordinary L1.  Great at filtering the L2 (Lesson 1), but every access
+pays the switch + shared-cache latency and the request/response link
+energy (Lessons 2 and 4).
+"""
+
+from ..accel.core import AxcCore
+from ..coherence.shared_l1 import ISSUE_INTERVAL, SharedL1XController
+from ..interconnect.link import Link
+from .base import BaseSystem
+
+
+class SharedSystem(BaseSystem):
+    """Shared-L1X design."""
+
+    name = "SHARED"
+
+    def _build(self):
+        self.l1x = SharedL1XController(self.config, self.host_mem,
+                                       self.page_table, self.stats)
+        self.l1x.axc_link = Link(
+            "axc_l1x", self.config.link.axc_l1x_pj_per_byte, self.stats)
+        self.host_mem.tile_agent = self.l1x
+        self.cores = [AxcCore(i, self.stats)
+                      for i in range(self.workload.num_axcs)]
+
+    def _run_invocation(self, index, trace, now):
+        core = self.cores[self._axc_of(trace)]
+        return core.run(trace, now, self.l1x.access, self._mlp(trace),
+                        issue_interval=ISSUE_INTERVAL)

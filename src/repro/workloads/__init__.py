@@ -1,0 +1,25 @@
+"""Workloads: kernels, traces, characterisation and the benchmark registry."""
+
+from .builder import AddressSpace, Array, TraceBuilder
+from .characterize import (
+    FunctionProfile,
+    characterize,
+    function_mlp,
+    sharing_degree,
+    working_set_kb,
+)
+from . import trace_io
+from .dependence import invocation_dependences, parallelism_profile
+from .forwarding import forwarding_plan, total_forwarded
+from .registry import BENCHMARKS, LABELS, build_workload, \
+    build_workload_with_outputs
+
+__all__ = [
+    "trace_io",
+    "AddressSpace", "Array", "TraceBuilder",
+    "FunctionProfile", "characterize", "function_mlp", "sharing_degree",
+    "working_set_kb",
+    "forwarding_plan", "total_forwarded",
+    "invocation_dependences", "parallelism_profile",
+    "BENCHMARKS", "LABELS", "build_workload", "build_workload_with_outputs",
+]

@@ -1,0 +1,70 @@
+"""Inter-invocation dependence analysis for pipelined execution.
+
+The sequential program's invocations are totally ordered, but many are
+*data*-independent: SAD for disparity shift k+1 reads only the padded
+inputs, not shift k's integral image.  Two invocations must serialise
+only when an earlier one writes a block the later one touches (RAW /
+WAW) or reads a block the later one writes (WAR) — otherwise a
+dependence-aware tile may overlap them (the concurrency the paper's
+Figure 5 timeline shows between AXC-1 and AXC-2).
+"""
+
+
+def invocation_dependences(workload):
+    """Return ``{j: set(i)}``: invocation ``j`` must start after every
+    invocation ``i`` in its set completes.
+
+    Edges are computed at cache-block granularity over the traces, plus
+    a same-AXC program-order edge (one accelerator runs one invocation
+    at a time).
+    """
+    invocations = workload.invocations
+    touched = [trace.touched_blocks() for trace in invocations]
+    dirty = [trace.dirty_blocks() for trace in invocations]
+    axcs = [workload.axc_of(trace.name) for trace in invocations]
+    deps = {j: set() for j in range(len(invocations))}
+    last_on_axc = {}
+    for j in range(len(invocations)):
+        for i in range(j):
+            raw_waw = dirty[i] & touched[j]
+            war = touched[i] & dirty[j]
+            if raw_waw or war:
+                deps[j].add(i)
+        if axcs[j] in last_on_axc:
+            deps[j].add(last_on_axc[axcs[j]])
+        last_on_axc[axcs[j]] = j
+    return _transitively_reduce(deps)
+
+
+def _transitively_reduce(deps):
+    """Drop edges implied by transitivity (keeps schedules identical,
+    makes the graphs readable and the scheduler's ready-check cheap)."""
+    reduced = {}
+    for j, direct in deps.items():
+        ancestors = set()
+        frontier = set(direct)
+        while frontier:
+            node = frontier.pop()
+            for parent in deps.get(node, ()):
+                if parent not in ancestors:
+                    ancestors.add(parent)
+                    frontier.add(parent)
+        reduced[j] = {i for i in direct if i not in ancestors}
+    return reduced
+
+
+def parallelism_profile(workload):
+    """Return ``(critical_path_length, total, max_width)`` in
+    invocation counts — a quick feel for how much pipelining a workload
+    offers before simulating it."""
+    deps = invocation_dependences(workload)
+    depth = {}
+    for j in sorted(deps):
+        depth[j] = 1 + max((depth[i] for i in deps[j]), default=0)
+    if not depth:
+        return 0, 0, 0
+    critical = max(depth.values())
+    width = {}
+    for j, level in depth.items():
+        width[level] = width.get(level, 0) + 1
+    return critical, len(deps), max(width.values())

@@ -1,0 +1,52 @@
+"""FUSION-Dx forwarding post-pass.
+
+The paper's simulation is trace driven: "we post process the trace to
+identify the stores to be forwarded from the producer to the consumer
+accelerator" (Section 3.2).  This module is that post-pass: for each
+invocation it finds the blocks it dirties that the *next* invocation on
+a *different* accelerator reads before writing — exactly the
+producer-consumer hand-offs whose writeback + re-read the forwarding
+optimisation elides.
+"""
+
+from ..common.types import MemOp
+
+
+def _first_access_kind(trace):
+    """Map block -> the first access kind in ``trace``."""
+    first = {}
+    for op in trace.ops:
+        if isinstance(op, MemOp) and op.block not in first:
+            first[op.block] = op.kind
+    return first
+
+
+def forwarding_plan(workload):
+    """Compute the per-invocation forwarding plan.
+
+    Returns ``{invocation_index: [(block, consumer_axc_id), ...]}`` where
+    the producer invocation should push each dirty ``block`` into the
+    consumer accelerator's L0X instead of writing it back to the L1X.
+    """
+    from ..common.types import AccessType
+    plan = {}
+    invocations = workload.invocations
+    for index, producer in enumerate(invocations[:-1]):
+        consumer = invocations[index + 1]
+        producer_axc = workload.axc_of(producer.name)
+        consumer_axc = workload.axc_of(consumer.name)
+        if producer_axc == consumer_axc:
+            continue
+        consumed_first = _first_access_kind(consumer)
+        entries = []
+        for block in sorted(producer.dirty_blocks()):
+            if consumed_first.get(block) is AccessType.LOAD:
+                entries.append((block, consumer_axc))
+        if entries:
+            plan[index] = entries
+    return plan
+
+
+def total_forwarded(plan):
+    """Total number of forwarded blocks in a plan (Table 5 column 1)."""
+    return sum(len(entries) for entries in plan.values())

@@ -1,0 +1,11 @@
+"""Benchmark kernels: real computations that emit memory traces.
+
+Each module implements one benchmark from the paper's suite (SD-VBS and
+MachSuite selections, Table 1) as a pipeline of accelerated functions
+that both compute verifiable results and record their dynamic traces.
+"""
+
+from . import adpcm, disparity, fft, filters, histogram, susan, tracking
+
+__all__ = ["adpcm", "disparity", "fft", "filters", "histogram", "susan",
+           "tracking"]

@@ -1,0 +1,137 @@
+"""FFT benchmark (MachSuite-style), split into the paper's six steps.
+
+A radix-2 decimation-in-time FFT over ``n`` complex points, executed
+in-place on separate real/imaginary arrays with precomputed twiddle
+tables.  The paper accelerates six functions (step1..step6, Table 1); we
+map step1 to the bit-reversal permutation and steps 2-6 to groups of
+butterfly stages.
+
+The *application* transforms a stream of blocks: the whole six-step
+pipeline is invoked ``iterations`` times back to back (the paper notes
+its accelerated functions "are invoked repeatedly, possibly from
+different sites").  This is what makes FFT the most DMA-hostile workload
+in the suite — SCRATCH re-stages the arrays through the host L2 for
+every step of every iteration (the paper's DMA/WSet ratio of 165), while
+a 64 kB shared L1X retains the entire footprint across invocations.
+
+The computation is real: each iteration applies one unnormalised DFT, so
+after k iterations the data equals ``numpy.fft.fft`` applied k times —
+the tests verify exactly that.
+"""
+
+import math
+
+#: Lease times per function, from Table 3.
+LEASES = {"step1": 500, "step2": 700, "step3": 200,
+          "step4": 700, "step5": 700, "step6": 500}
+
+DEFAULT_N = 1024
+DEFAULT_ITERATIONS = 4
+
+
+def _bit_reverse(index, bits):
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (index & 1)
+        index >>= 1
+    return result
+
+
+def _step1_bitrev(tb, re, im, data_re, data_im, n, bits):
+    """Bit-reversal permutation (the FFT's shuffle pass)."""
+    with tb.function("step1", LEASES["step1"]):
+        for i in range(n):
+            j = _bit_reverse(i, bits)
+            if j <= i:
+                continue
+            tb.load(re, i)
+            tb.load(im, i)
+            tb.load(re, j)
+            tb.load(im, j)
+            tb.compute(int_ops=6)
+            tb.store(re, i)
+            tb.store(im, i)
+            tb.store(re, j)
+            tb.store(im, j)
+            data_re[i], data_re[j] = data_re[j], data_re[i]
+            data_im[i], data_im[j] = data_im[j], data_im[i]
+
+
+def _butterfly_stages(tb, name, re, im, tw_re, tw_im, data_re, data_im,
+                      tw_table, n, stages):
+    """Run a group of butterfly stages as one accelerated function."""
+    with tb.function(name, LEASES[name]):
+        for stage in stages:
+            half = 1 << stage          # butterfly span
+            step = n // (2 * half)     # twiddle stride
+            for start in range(0, n, 2 * half):
+                for k in range(half):
+                    top = start + k
+                    bot = top + half
+                    tw_index = k * step
+                    tb.load(re, top)
+                    tb.load(im, top)
+                    tb.load(re, bot)
+                    tb.load(im, bot)
+                    tb.load(tw_re, tw_index)
+                    tb.load(tw_im, tw_index)
+                    tb.compute(fp_ops=10, int_ops=6)
+                    tb.store(re, top)
+                    tb.store(im, top)
+                    tb.store(re, bot)
+                    tb.store(im, bot)
+                    wr, wi = tw_table[tw_index]
+                    tr = (data_re[bot] * wr - data_im[bot] * wi)
+                    ti = (data_re[bot] * wi + data_im[bot] * wr)
+                    data_re[bot] = data_re[top] - tr
+                    data_im[bot] = data_im[top] - ti
+                    data_re[top] += tr
+                    data_im[top] += ti
+
+
+def build_workload(builder_factory, n=DEFAULT_N,
+                   iterations=DEFAULT_ITERATIONS):
+    """Build the FFT workload; returns ``(workload, outputs)``.
+
+    ``outputs`` carries the computed spectrum for functional tests.
+    """
+    bits = int(math.log2(n))
+    if 1 << bits != n:
+        raise ValueError("FFT size must be a power of two")
+    space, tb = builder_factory("fft")
+    re = space.alloc("re", n)
+    im = space.alloc("im", n)
+    tw_re = space.alloc("tw_re", n // 2)
+    tw_im = space.alloc("tw_im", n // 2)
+
+    # Deterministic input signal: two tones plus a ramp.
+    data_re = [math.sin(2 * math.pi * 5 * i / n)
+               + 0.5 * math.cos(2 * math.pi * 31 * i / n)
+               + i / n * 0.1 for i in range(n)]
+    data_im = [0.0] * n
+    input_re = list(data_re)
+    input_im = list(data_im)
+    tw_table = [(math.cos(-2 * math.pi * k / n),
+                 math.sin(-2 * math.pi * k / n)) for k in range(n // 2)]
+
+    stage_groups = _split_stages(bits)
+    for _ in range(iterations):
+        _step1_bitrev(tb, re, im, data_re, data_im, n, bits)
+        for step_index, stages in enumerate(stage_groups, start=2):
+            name = "step{}".format(step_index)
+            _butterfly_stages(tb, name, re, im, tw_re, tw_im,
+                              data_re, data_im, tw_table, n, stages)
+
+    workload = tb.workload(host_inputs=("re", "im", "tw_re", "tw_im"),
+                           host_outputs=("re", "im"))
+    outputs = {"re": data_re, "im": data_im, "input_re": input_re,
+               "input_im": input_im, "n": n, "iterations": iterations}
+    return workload, outputs
+
+
+def _split_stages(bits):
+    """Split ``bits`` butterfly stages into five step functions."""
+    groups = [[] for _ in range(5)]
+    for stage in range(bits):
+        groups[min(stage * 5 // bits, 4)].append(stage)
+    return groups

@@ -1,0 +1,156 @@
+"""Histogram benchmark: HSL histogram equalisation of an RGB image.
+
+Four accelerated functions (Table 1): ``rgb2hsl`` (48 % of time, mostly
+FP), ``histogram`` (bin the lightness channel; 100 % of its blocks are
+shared), ``equaliz`` (build the CDF LUT and remap lightness) and
+``hsl2rgb`` (convert back).  With separate planes for three input
+channels, three HSL channels and three output channels the working set
+is by far the largest in the suite (the paper reports 1191 kB) —
+overflowing every cache level and generating L1X->L2 coherence request
+traffic that no tile-side design can hide (Lesson 4, HIST discussion).
+
+The equalisation is real: tests verify the remapped lightness histogram
+is flatter than the input's.
+"""
+
+import random
+
+LEASES = {"rgb2hsl": 500, "histogram": 500, "equaliz": 500,
+          "hsl2rgb": 500}
+
+DEFAULT_PIXELS = 32768
+BINS = 256
+
+
+def _rgb_to_hsl(r, g, b):
+    r_, g_, b_ = r / 255.0, g / 255.0, b / 255.0
+    mx, mn = max(r_, g_, b_), min(r_, g_, b_)
+    light = (mx + mn) / 2.0
+    if mx == mn:
+        return 0.0, 0.0, light
+    d = mx - mn
+    sat = d / (2.0 - mx - mn) if light > 0.5 else d / (mx + mn)
+    if mx == r_:
+        hue = ((g_ - b_) / d) % 6.0
+    elif mx == g_:
+        hue = (b_ - r_) / d + 2.0
+    else:
+        hue = (r_ - g_) / d + 4.0
+    return hue / 6.0, sat, light
+
+
+def _hue_to_rgb(p, q, t):
+    t %= 1.0
+    if t < 1 / 6:
+        return p + (q - p) * 6 * t
+    if t < 1 / 2:
+        return q
+    if t < 2 / 3:
+        return p + (q - p) * (2 / 3 - t) * 6
+    return p
+
+
+def _hsl_to_rgb(h, s, light):
+    if s == 0:
+        v = int(round(light * 255))
+        return v, v, v
+    q = light * (1 + s) if light < 0.5 else light + s - light * s
+    p = 2 * light - q
+    return (int(round(_hue_to_rgb(p, q, h + 1 / 3) * 255)),
+            int(round(_hue_to_rgb(p, q, h) * 255)),
+            int(round(_hue_to_rgb(p, q, h - 1 / 3) * 255)))
+
+
+def build_workload(builder_factory, num_pixels=DEFAULT_PIXELS):
+    """Build the histogram workload; returns ``(workload, outputs)``."""
+    space, tb = builder_factory("histogram")
+    r_in = space.alloc("r_in", num_pixels)
+    g_in = space.alloc("g_in", num_pixels)
+    b_in = space.alloc("b_in", num_pixels)
+    h_pl = space.alloc("h_pl", num_pixels)
+    s_pl = space.alloc("s_pl", num_pixels)
+    l_pl = space.alloc("l_pl", num_pixels)
+    hist = space.alloc("hist", BINS)
+    lut = space.alloc("lut", BINS)
+    r_out = space.alloc("r_out", num_pixels)
+    g_out = space.alloc("g_out", num_pixels)
+    b_out = space.alloc("b_out", num_pixels)
+
+    rng = random.Random(5)
+    # A low-contrast image: values clustered in a narrow band, which
+    # equalisation should spread out.
+    r_v = [90 + rng.randrange(60) for _ in range(num_pixels)]
+    g_v = [80 + rng.randrange(70) for _ in range(num_pixels)]
+    b_v = [100 + rng.randrange(50) for _ in range(num_pixels)]
+    h_v = [0.0] * num_pixels
+    s_v = [0.0] * num_pixels
+    l_v = [0.0] * num_pixels
+    hist_v = [0] * BINS
+    lut_v = [0] * BINS
+    ro_v = [0] * num_pixels
+    go_v = [0] * num_pixels
+    bo_v = [0] * num_pixels
+
+    # -- rgb2hsl -------------------------------------------------------------
+    tb.begin_function("rgb2hsl", LEASES["rgb2hsl"])
+    for i in range(num_pixels):
+        tb.load(r_in, i)
+        tb.load(g_in, i)
+        tb.load(b_in, i)
+        tb.compute(fp_ops=14, int_ops=4)
+        tb.store(h_pl, i)
+        tb.store(s_pl, i)
+        tb.store(l_pl, i)
+        h_v[i], s_v[i], l_v[i] = _rgb_to_hsl(r_v[i], g_v[i], b_v[i])
+    tb.end_function()
+
+    # -- histogram of the lightness channel ------------------------------------
+    tb.begin_function("histogram", LEASES["histogram"])
+    for i in range(num_pixels):
+        tb.load(l_pl, i)
+        bin_index = min(BINS - 1, int(l_v[i] * BINS))
+        tb.load(hist, bin_index)
+        tb.compute(int_ops=3)
+        tb.store(hist, bin_index)
+        hist_v[bin_index] += 1
+    tb.end_function()
+
+    # -- equaliz: CDF -> LUT, remap lightness ------------------------------------
+    tb.begin_function("equaliz", LEASES["equaliz"])
+    cdf = 0
+    cdf_min = next((hist_v[k] for k in range(BINS) if hist_v[k]), 0)
+    for k in range(BINS):
+        tb.load(hist, k)
+        cdf += hist_v[k]
+        tb.compute(int_ops=4, fp_ops=2)
+        tb.store(lut, k)
+        denom = max(1, num_pixels - cdf_min)
+        lut_v[k] = max(0, (cdf - cdf_min) * (BINS - 1) // denom)
+    for i in range(num_pixels):
+        tb.load(l_pl, i)
+        bin_index = min(BINS - 1, int(l_v[i] * BINS))
+        tb.load(lut, bin_index)
+        tb.compute(fp_ops=2)
+        tb.store(l_pl, i)
+        l_v[i] = lut_v[bin_index] / (BINS - 1)
+    tb.end_function()
+
+    # -- hsl2rgb -------------------------------------------------------------
+    tb.begin_function("hsl2rgb", LEASES["hsl2rgb"])
+    for i in range(num_pixels):
+        tb.load(h_pl, i)
+        tb.load(s_pl, i)
+        tb.load(l_pl, i)
+        tb.compute(fp_ops=16, int_ops=4)
+        tb.store(r_out, i)
+        tb.store(g_out, i)
+        tb.store(b_out, i)
+        ro_v[i], go_v[i], bo_v[i] = _hsl_to_rgb(h_v[i], s_v[i], l_v[i])
+    tb.end_function()
+
+    workload = tb.workload(
+        host_inputs=("r_in", "g_in", "b_in"),
+        host_outputs=("r_out", "g_out", "b_out"))
+    outputs = {"r": ro_v, "g": go_v, "b": bo_v, "lightness": l_v,
+               "hist": hist_v, "lut": lut_v, "num_pixels": num_pixels}
+    return workload, outputs

@@ -1,0 +1,112 @@
+"""Susan benchmark (SD-VBS smallest univalue segment assimilating nucleus).
+
+Four accelerated functions (Table 1): ``bright`` builds the brightness
+similarity LUT (tiny, ~1 % of time), ``smooth`` performs USAN-weighted
+smoothing over a 5x5 window (the 66-86 % dominant function), ``corn``
+and ``edges`` threshold the USAN response.  The image plus response
+planes stay under 30 kB — with SUSAN's long-running smooth loop
+thrashing the tiny L0X against its lease, this is one of the benchmarks
+where FUSION's coherence request messages eat into its gains (Lesson 4).
+"""
+
+import math
+import random
+
+LEASES = {"bright": 1000, "smooth": 1700, "corn": 1200, "edges": 1700}
+
+DEFAULT_DIM = 56
+_LUT_SIZE = 516
+_RADIUS = 2  # 5x5 window
+
+
+def build_workload(builder_factory, dim=DEFAULT_DIM):
+    """Build the Susan workload; returns ``(workload, outputs)``."""
+    space, tb = builder_factory("susan")
+    npx = dim * dim
+    img = space.alloc("img", npx, elem_size=1)
+    lut = space.alloc("lut", _LUT_SIZE, elem_size=1)
+    smoothed = space.alloc("smoothed", npx, elem_size=1)
+    usan = space.alloc("usan", npx, elem_size=2)
+    corners = space.alloc("corners", npx, elem_size=1)
+    edges = space.alloc("edges", npx, elem_size=1)
+
+    rng = random.Random(23)
+    img_v = [rng.randrange(256) for _ in range(npx)]
+    lut_v = [0] * _LUT_SIZE
+    smooth_v = [0] * npx
+    usan_v = [0] * npx
+    corn_v = [0] * npx
+    edge_v = [0] * npx
+
+    # -- bright: build the brightness-difference LUT --------------------------
+    tb.begin_function("bright", LEASES["bright"])
+    for k in range(_LUT_SIZE):
+        diff = (k - _LUT_SIZE // 2) / 20.0
+        tb.compute(fp_ops=6)
+        tb.store(lut, k)
+        lut_v[k] = int(100.0 * math.exp(-(diff ** 6)))
+    tb.end_function()
+
+    # -- smooth: USAN-weighted window smoothing --------------------------------
+    tb.begin_function("smooth", LEASES["smooth"])
+    for y in range(_RADIUS, dim - _RADIUS):
+        for x in range(_RADIUS, dim - _RADIUS):
+            i = y * dim + x
+            tb.load(img, i)
+            centre = img_v[i]
+            total, weight_sum, count = 0, 0, 0
+            for wy in range(-_RADIUS, _RADIUS + 1):
+                for wx in range(-_RADIUS, _RADIUS + 1):
+                    j = (y + wy) * dim + (x + wx)
+                    tb.load(img, j)
+                    diff = img_v[j] - centre
+                    tb.load(lut, diff + _LUT_SIZE // 2)
+                    w = lut_v[diff + _LUT_SIZE // 2]
+                    tb.compute(int_ops=4)
+                    total += w * img_v[j]
+                    weight_sum += w
+                    count += 1 if w > 50 else 0
+            tb.compute(int_ops=6)
+            tb.store(smoothed, i)
+            tb.store(usan, i)
+            smooth_v[i] = total // weight_sum if weight_sum else centre
+            usan_v[i] = count
+    tb.end_function()
+
+    # -- corn: corner response thresholding --------------------------------------
+    corner_thresh = 8
+    tb.begin_function("corn", LEASES["corn"])
+    for y in range(_RADIUS, dim - _RADIUS):
+        for x in range(_RADIUS, dim - _RADIUS):
+            i = y * dim + x
+            tb.load(usan, i)
+            tb.load(usan, i - 1)
+            tb.load(usan, i + 1)
+            tb.compute(int_ops=6)
+            is_corner = (usan_v[i] < corner_thresh
+                         and usan_v[i] <= usan_v[i - 1]
+                         and usan_v[i] <= usan_v[i + 1])
+            if is_corner:
+                tb.store(corners, i)
+                corn_v[i] = 255
+    tb.end_function()
+
+    # -- edges: edge response thresholding -----------------------------------------
+    edge_thresh = 16
+    tb.begin_function("edges", LEASES["edges"])
+    for y in range(_RADIUS, dim - _RADIUS):
+        for x in range(_RADIUS, dim - _RADIUS):
+            i = y * dim + x
+            tb.load(usan, i)
+            tb.load(smoothed, i)
+            tb.compute(int_ops=4)
+            if usan_v[i] < edge_thresh:
+                tb.store(edges, i)
+                edge_v[i] = 255
+    tb.end_function()
+
+    workload = tb.workload(host_inputs=("img",),
+                           host_outputs=("smoothed", "corners", "edges"))
+    outputs = {"smoothed": smooth_v, "usan": usan_v, "corners": corn_v,
+               "edges": edge_v, "dim": dim}
+    return workload, outputs

@@ -1,0 +1,107 @@
+"""Tracking benchmark (SD-VBS feature-tracking front-end).
+
+Three accelerated functions (Table 1) over float (F2D) image planes:
+
+* ``imgBlur``   — direct 3x3 Gaussian convolution;
+* ``imgResize`` — 2x downsample of the blurred image (shares ~99 % of
+  its accesses with imgBlur's output — the function whose inter-AXC
+  DMA transfers the paper calls out in Section 5.2);
+* ``calcSobel`` — x/y gradients of the blurred image.
+
+The 3-row convolution stencil over wide float rows is what makes this
+workload scratchpad-hostile: a double-buffered 2 kB DMA window holds
+fewer than three 704-byte rows, so every window re-stages its halo rows.
+The working set (~395 kB of float planes) overflows both the 64 kB and
+the 256 kB shared L1X, matching the paper's 371 kB footprint.
+"""
+
+import random
+
+LEASES = {"imgBlur": 700, "imgResize": 770, "calcSobel": 720}
+
+DEFAULT_WIDTH = 176
+DEFAULT_HEIGHT = 132
+
+#: 3x3 binomial kernel weights (row-major), divisor 16.
+_WEIGHTS = (1, 2, 1,
+            2, 4, 2,
+            1, 2, 1)
+
+
+def build_workload(builder_factory, width=DEFAULT_WIDTH,
+                   height=DEFAULT_HEIGHT):
+    """Build the tracking workload; returns ``(workload, outputs)``."""
+    space, tb = builder_factory("tracking")
+    npx = width * height
+    rw, rh = width // 2, height // 2
+
+    img = space.alloc("img", npx)
+    blurred = space.alloc("blurred", npx)
+    resized = space.alloc("resized", rw * rh)
+    sobel_dx = space.alloc("sobel_dx", npx)
+    sobel_dy = space.alloc("sobel_dy", npx)
+
+    rng = random.Random(11)
+    img_v = [rng.randrange(256) for _ in range(npx)]
+    blur_v = [0] * npx
+    resized_v = [0] * (rw * rh)
+    dx_v = [0] * npx
+    dy_v = [0] * npx
+
+    # -- imgBlur: direct 3x3 convolution --------------------------------------
+    tb.begin_function("imgBlur", LEASES["imgBlur"])
+    for y in range(height):
+        for x in range(width):
+            i = y * width + x
+            acc = 0
+            for wy in (-1, 0, 1):
+                for wx in (-1, 0, 1):
+                    yy = min(max(y + wy, 0), height - 1)
+                    xx = min(max(x + wx, 0), width - 1)
+                    tb.load(img, yy * width + xx)
+                    weight = _WEIGHTS[(wy + 1) * 3 + (wx + 1)]
+                    acc += weight * img_v[yy * width + xx]
+            tb.compute(int_ops=12, fp_ops=2)
+            tb.store(blurred, i)
+            blur_v[i] = acc // 16
+    tb.end_function()
+
+    # -- imgResize: 2x decimation of the blurred image -----------------------
+    tb.begin_function("imgResize", LEASES["imgResize"])
+    for y in range(rh):
+        for x in range(rw):
+            sy, sx = 2 * y, 2 * x
+            acc = 0
+            for dy in (0, 1):
+                for dx in (0, 1):
+                    tb.load(blurred, (sy + dy) * width + (sx + dx))
+                    acc += blur_v[(sy + dy) * width + (sx + dx)]
+            tb.compute(int_ops=4)
+            tb.store(resized, y * rw + x)
+            resized_v[y * rw + x] = acc // 4
+    tb.end_function()
+
+    # -- calcSobel: gradients of the blurred image ---------------------------
+    tb.begin_function("calcSobel", LEASES["calcSobel"])
+    for y in range(1, height - 1):
+        for x in range(1, width - 1):
+            i = y * width + x
+            tb.load(blurred, i - 1)
+            tb.load(blurred, i + 1)
+            tb.compute(int_ops=2)
+            tb.store(sobel_dx, i)
+            dx_v[i] = blur_v[i + 1] - blur_v[i - 1]
+            tb.load(blurred, i - width)
+            tb.load(blurred, i + width)
+            tb.compute(int_ops=2)
+            tb.store(sobel_dy, i)
+            dy_v[i] = blur_v[i + width] - blur_v[i - width]
+    tb.end_function()
+
+    workload = tb.workload(
+        host_inputs=("img",),
+        host_outputs=("resized", "sobel_dx", "sobel_dy"))
+    outputs = {"blurred": blur_v, "resized": resized_v,
+               "sobel_dx": dx_v, "sobel_dy": dy_v,
+               "width": width, "height": height}
+    return workload, outputs

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+Workload builds are cached at session scope (they are deterministic and
+read-only to the simulator), so the many tests that need a trace don't
+re-run the kernels.
+"""
+
+import pytest
+
+from repro.common.config import CacheConfig, small_config
+from repro.common.stats import StatsRegistry
+from repro.workloads.registry import BENCHMARKS, build_workload
+
+
+@pytest.fixture
+def stats():
+    return StatsRegistry()
+
+
+@pytest.fixture
+def config():
+    return small_config()
+
+
+@pytest.fixture
+def tiny_cache_config():
+    """A 4-set, 2-way, 64 B-line cache: small enough to force evictions."""
+    return CacheConfig(size_bytes=512, ways=2, hit_latency=1)
+
+
+@pytest.fixture(scope="session", params=BENCHMARKS)
+def any_tiny_workload(request):
+    """Each benchmark's tiny workload, parametrised."""
+    return build_workload(request.param, "tiny")
+
+
+@pytest.fixture(scope="session")
+def adpcm_tiny():
+    return build_workload("adpcm", "tiny")
+
+
+@pytest.fixture(scope="session")
+def fft_tiny():
+    return build_workload("fft", "tiny")
+
+
+def make_mem_system(config=None):
+    """Host memory system + fresh stats, for protocol tests."""
+    from repro.coherence.mesi import HostMemorySystem
+    config = config or small_config()
+    stats = StatsRegistry()
+    return HostMemorySystem(config, stats), stats
+
+
+class RecordingTileAgent:
+    """Tile agent stub that records forwarded requests."""
+
+    def __init__(self, dirty=False, stall=0):
+        self.dirty = dirty
+        self.stall = stall
+        self.requests = []
+
+    def handle_forwarded_request(self, pblock, now, is_store):
+        self.requests.append((pblock, now, is_store))
+        return self.stall, self.dirty

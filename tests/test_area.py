@@ -1,0 +1,69 @@
+"""Tile area and leakage model (repro.energy.area)."""
+
+import pytest
+
+from repro.common.config import large_config, small_config
+from repro.energy.area import (
+    area_table,
+    static_energy_pj,
+    tile_area,
+)
+
+
+def test_fusion_tile_components():
+    report = tile_area(small_config(), num_axcs=4)
+    assert set(report.components) == {"datapaths", "l0x", "l1x",
+                                      "ax_tlb", "ax_rmap"}
+    assert report.total_mm2 > 0
+
+
+def test_scratch_tile_components():
+    report = tile_area(small_config(), num_axcs=4, with_scratchpads=True)
+    assert "scratchpads" in report.components
+    assert "l1x" not in report.components
+
+
+def test_l1x_dominates_fusion_tile_sram():
+    report = tile_area(small_config(), num_axcs=4)
+    assert report.components["l1x"] > report.components["l0x"]
+
+
+def test_large_config_grows_area():
+    small = tile_area(small_config(), 4).total_mm2
+    large = tile_area(large_config(), 4).total_mm2
+    assert large > small * 2
+
+
+def test_area_scales_with_axc_count():
+    two = tile_area(small_config(), 2)
+    six = tile_area(small_config(), 6)
+    assert six.components["l0x"] == pytest.approx(
+        3 * two.components["l0x"])
+    assert six.components["l1x"] == two.components["l1x"]  # shared
+
+
+def test_wire_length_positive_and_sublinear():
+    report = tile_area(small_config(), 4)
+    assert report.wire_length_mm() > 0
+    # sqrt form: doubling every area grows wire length by sqrt(2).
+    doubled = tile_area(small_config(), 8)
+    assert doubled.wire_length_mm() < 2 * report.wire_length_mm()
+
+
+def test_leakage_energy_accumulates_with_cycles():
+    config = small_config()
+    one = static_energy_pj(config, 4, cycles=1000)
+    ten = static_energy_pj(config, 4, cycles=10000)
+    assert ten == pytest.approx(10 * one)
+    assert one > 0
+
+
+def test_area_table_has_totals():
+    rows = area_table(small_config(), 4)
+    totals = [(system, value) for system, name, value in rows
+              if name == "TOTAL"]
+    assert len(totals) == 2
+    fusion_total = dict(totals)["FUSION"]
+    scratch_total = dict(totals)["SCRATCH"]
+    # FUSION trades area (the shared L1X) for the energy wins.
+    assert fusion_total > scratch_total

@@ -1,0 +1,109 @@
+"""Set-associative cache model (repro.mem.cache)."""
+
+import pytest
+
+from repro.common.config import CacheConfig
+from repro.common.errors import SimulationError
+from repro.mem.cache import SetAssocCache
+
+
+def make_cache(size=512, ways=2):
+    return SetAssocCache(CacheConfig(size_bytes=size, ways=ways),
+                         name="test")
+
+
+def test_miss_then_hit():
+    cache = make_cache()
+    assert cache.lookup(0x100) is None
+    cache.insert(0x100)
+    line = cache.lookup(0x100)
+    assert line is not None
+    assert line.block == 0x100
+
+
+def test_lookup_is_line_granular():
+    cache = make_cache()
+    cache.insert(0x100)
+    assert cache.lookup(0x13F) is not None   # same 64 B line
+    assert cache.lookup(0x140) is None       # next line
+
+
+def test_double_insert_raises():
+    cache = make_cache()
+    cache.insert(0x100)
+    with pytest.raises(SimulationError):
+        cache.insert(0x100)
+
+
+def test_lru_eviction_order():
+    cache = make_cache(size=512, ways=2)  # 4 sets
+    set_stride = 4 * 64  # same set every 256 bytes
+    a, b, c = 0, set_stride, 2 * set_stride
+    cache.insert(a)
+    cache.insert(b)
+    cache.lookup(a)          # touch a; b becomes LRU
+    victim = cache.insert(c)
+    assert victim.block == b
+    assert cache.contains(a)
+    assert not cache.contains(b)
+
+
+def test_contains_does_not_perturb_lru():
+    cache = make_cache(size=512, ways=2)
+    set_stride = 4 * 64
+    a, b, c = 0, set_stride, 2 * set_stride
+    cache.insert(a)
+    cache.insert(b)
+    cache.contains(a)        # must NOT refresh a
+    victim = cache.insert(c)
+    assert victim.block == a
+
+
+def test_invalidate_returns_line():
+    cache = make_cache()
+    cache.insert(0x40, dirty=True)
+    line = cache.invalidate(0x40)
+    assert line.dirty
+    assert cache.invalidate(0x40) is None
+
+
+def test_occupancy_and_resident_blocks():
+    cache = make_cache()
+    cache.insert(0)
+    cache.insert(64)
+    assert cache.occupancy == 2
+    assert sorted(cache.resident_blocks()) == [0, 64]
+
+
+def test_dirty_lines_filter():
+    cache = make_cache()
+    cache.insert(0, dirty=True)
+    cache.insert(64)
+    dirty = cache.dirty_lines()
+    assert [line.block for line in dirty] == [0]
+
+
+def test_invalidate_all():
+    cache = make_cache()
+    cache.insert(0)
+    cache.insert(64)
+    removed = cache.invalidate_all()
+    assert len(removed) == 2
+    assert cache.occupancy == 0
+
+
+def test_occupancy_never_exceeds_capacity():
+    cache = make_cache(size=512, ways=2)  # 8 lines max
+    for i in range(32):
+        if not cache.contains(i * 64):
+            cache.insert(i * 64)
+    assert cache.occupancy <= 8
+
+
+def test_line_fields_roundtrip():
+    cache = make_cache()
+    cache.insert(0, dirty=True, state="W", lease=500, paddr=0x1000)
+    line = cache.lookup(0)
+    assert line.state == "W"
+    assert line.lease == 500
+    assert line.paddr == 0x1000

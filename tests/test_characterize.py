@@ -1,0 +1,86 @@
+"""Workload characterisation — Table 1 metrics (repro.workloads)."""
+
+import pytest
+
+from repro.common.types import AccessType, FunctionTrace, MemOp, \
+    WorkloadTrace
+from repro.workloads.characterize import characterize, function_mlp, \
+    sharing_degree, working_set_kb
+
+
+def load(addr):
+    return MemOp(AccessType.LOAD, addr)
+
+
+def store(addr):
+    return MemOp(AccessType.STORE, addr)
+
+
+def make_workload():
+    producer = FunctionTrace(name="p", benchmark="b", lease_time=700,
+                             ops=[store(0), store(64), store(128)])
+    consumer = FunctionTrace(name="c", benchmark="b", lease_time=400,
+                             ops=[load(0), load(64), store(256)])
+    return WorkloadTrace(benchmark="b", invocations=[producer, consumer])
+
+
+def test_sharing_degree_counts_cross_function_blocks():
+    shr = sharing_degree(make_workload())
+    # p touches {0,64,128}; c touches {0,64,256}; shared = {0,64}.
+    assert shr["p"] == pytest.approx(100 * 2 / 3)
+    assert shr["c"] == pytest.approx(100 * 2 / 3)
+
+
+def test_sharing_merges_repeat_invocations():
+    a1 = FunctionTrace(name="a", benchmark="b", ops=[load(0)])
+    a2 = FunctionTrace(name="a", benchmark="b", ops=[load(64)])
+    workload = WorkloadTrace(benchmark="b", invocations=[a1, a2])
+    # One accelerator touching its own blocks twice is not sharing.
+    assert sharing_degree(workload)["a"] == 0.0
+
+
+def test_characterize_rows_and_time_shares():
+    profiles = characterize(make_workload())
+    assert [p.name for p in profiles] == ["p", "c"]
+    assert sum(p.time_pct for p in profiles) == pytest.approx(100.0)
+    assert profiles[0].lease == 700
+
+
+def test_characterize_mix():
+    profiles = {p.name: p for p in characterize(make_workload())}
+    assert profiles["p"].st_pct == pytest.approx(100.0)
+    assert profiles["c"].ld_pct == pytest.approx(100 * 2 / 3)
+
+
+def test_repeat_invocations_merge_into_one_row():
+    a1 = FunctionTrace(name="a", benchmark="b", ops=[load(0)])
+    a2 = FunctionTrace(name="a", benchmark="b", ops=[load(0), load(64)])
+    workload = WorkloadTrace(benchmark="b", invocations=[a1, a2])
+    profiles = characterize(workload)
+    assert len(profiles) == 1
+    assert profiles[0].time_pct == pytest.approx(100.0)
+
+
+def test_function_mlp_returns_pipe_mlp():
+    mlp = function_mlp(make_workload())
+    assert set(mlp) == {"p", "c"}
+    assert all(value >= 1.0 for value in mlp.values())
+
+
+def test_working_set_kb():
+    # 4 distinct blocks of 64 B = 0.25 kB.
+    assert working_set_kb(make_workload()) == pytest.approx(0.25)
+
+
+def test_real_benchmark_profiles_are_sane(any_tiny_workload):
+    profiles = characterize(any_tiny_workload)
+    assert profiles, "every benchmark has at least one function"
+    assert sum(p.time_pct for p in profiles) == pytest.approx(100.0)
+    for profile in profiles:
+        mix = (profile.int_pct + profile.fp_pct + profile.ld_pct
+               + profile.st_pct)
+        assert mix == pytest.approx(100.0)
+        assert 0.0 <= profile.shr_pct <= 100.0
+        assert profile.mlp >= 1.0
+        assert 1.0 <= profile.pipe_mlp <= 8.0
+        assert profile.lease > 0

@@ -1,0 +1,64 @@
+"""Terminal charts (repro.sim.charts)."""
+
+from repro.sim.charts import (
+    STACK_GLYPHS,
+    bar_chart,
+    figure6a_chart,
+    hbar,
+    stacked_bar,
+    stacked_chart,
+)
+from repro.sim.simulator import run
+
+
+def test_hbar_scales():
+    assert hbar(5, 10, width=10) == "#####"
+    assert hbar(10, 10, width=10) == "#" * 10
+    assert hbar(0, 10, width=10) == ""
+    assert hbar(20, 10, width=10) == "#" * 10  # clamped
+
+
+def test_hbar_zero_scale():
+    assert hbar(5, 0) == ""
+
+
+def test_stacked_bar_orders_components():
+    bar = stacked_bar({"local": 1.0, "l2": 1.0}, scale=2.0, width=10)
+    assert bar == "#####%%%%%"
+
+
+def test_stacked_bar_width_bounded():
+    components = {key: 1.0 for key, _ in STACK_GLYPHS}
+    bar = stacked_bar(components, scale=len(STACK_GLYPHS), width=20)
+    assert len(bar) == 20
+
+
+def test_bar_chart_lines():
+    chart = bar_chart([("a", 1.0), ("bb", 2.0)], width=10)
+    lines = chart.splitlines()
+    assert len(lines) == 2
+    assert lines[1].count("#") == 10  # the max bar is full width
+    assert lines[0].count("#") == 5
+
+
+def test_bar_chart_empty():
+    assert bar_chart([]) == ""
+
+
+def test_stacked_chart_has_legend():
+    chart = stacked_chart([("a", {"local": 2.0})])
+    assert "legend:" in chart
+    assert "#=local" in chart
+
+
+def test_figure6a_chart_renders_real_results():
+    results = {"ADPCM": {
+        system: run(system, "adpcm", "tiny")
+        for system in ("SCRATCH", "SHARED", "FUSION")}}
+    chart = figure6a_chart(results)
+    assert "ADPCM" in chart
+    assert "SCRATCH" in chart and "FUSION" in chart
+    # The SCRATCH bar is normalised to 1.0.
+    scratch_line = [line for line in chart.splitlines()
+                    if "SCRATCH" in line][0]
+    assert " 1.00 " in scratch_line

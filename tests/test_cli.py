@@ -1,0 +1,115 @@
+"""Command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_run_defaults():
+    args = build_parser().parse_args(["run", "FUSION", "adpcm"])
+    assert args.system == "FUSION"
+    assert args.size == "full"
+
+
+def test_parser_rejects_unknown_system():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "GPU", "adpcm"])
+
+
+def test_parser_rejects_unknown_benchmark():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "FUSION", "quicksort"])
+
+
+def test_run_command_prints_summary(capsys):
+    assert main(["run", "FUSION", "adpcm", "--size", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "accel cyc" in out
+    assert "energy (uJ)" in out
+
+
+def test_experiment_command_renders_table(capsys):
+    assert main(["experiment", "fig6d", "--size", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6d" in out
+    assert "DMA(kB)" in out
+
+
+def test_config_command(capsys):
+    assert main(["config"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "L1X" in out
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "adpcm", "--size", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "IDEAL" in out
+    assert "efficiency" in out
+    assert "legend:" in out
+
+
+def test_area_command(capsys):
+    assert main(["area", "--axcs", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "l1x" in out
+    assert "leakage" in out
+
+
+def test_trace_command(tmp_path, capsys):
+    path = str(tmp_path / "t.trace")
+    assert main(["trace", "adpcm", path, "--size", "tiny"]) == 0
+    from repro.workloads import trace_io
+    workload = trace_io.load_path(path)
+    assert workload.benchmark == "adpcm"
+
+
+def test_multitenant_command(capsys):
+    assert main(["multitenant", "adpcm", "filter", "--size",
+                 "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "adpcm+filter" in out
+    assert "PID conflicts" in out
+
+
+def test_run_json_format(capsys):
+    import json
+    assert main(["run", "FUSION", "adpcm", "--size", "tiny",
+                 "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["system"] == "FUSION"
+
+
+def test_experiment_csv_format(capsys):
+    assert main(["experiment", "fig6d", "--size", "tiny",
+                 "--format", "csv"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("Benchmark,")
+
+
+def test_parallelism_command(capsys):
+    assert main(["parallelism", "disparity", "--size", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "critical path" in out
+    assert "overlap speedup" in out
+
+
+def test_run_with_config_file(tmp_path, capsys):
+    path = tmp_path / "cfg.json"
+    path.write_text('{"name": "custom", "tile": {"default_lease": 123}}')
+    assert main(["run", "FUSION", "adpcm", "--size", "tiny",
+                 "--config", str(path)]) == 0
+    assert "accel cyc" in capsys.readouterr().out
+
+
+def test_multitenant_per_tile(capsys):
+    assert main(["multitenant", "adpcm", "filter", "--per-tile",
+                 "--size", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "tiles            : 2" in out
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,88 @@
+"""Configuration validation and presets (repro.common.config)."""
+
+import pytest
+
+from repro.common.config import (
+    CacheConfig,
+    ConfigError,
+    ScratchpadConfig,
+    WritePolicy,
+    large_config,
+    small_config,
+)
+from repro.common.units import KB
+
+
+def test_small_preset_matches_table2():
+    config = small_config()
+    assert config.tile.l0x.size_bytes == 4 * KB
+    assert config.tile.l1x.size_bytes == 64 * KB
+    assert config.tile.l1x.banks == 16
+    assert config.tile.scratchpad.size_bytes == 4 * KB
+    assert config.host.l1.size_bytes == 64 * KB
+    assert config.host.l2_size_bytes == 4 * KB * KB
+    assert config.link.axc_l1x_pj_per_byte == pytest.approx(0.4)
+    assert config.link.l1x_l2_pj_per_byte == pytest.approx(6.0)
+    assert config.link.l0x_l0x_pj_per_byte == pytest.approx(0.1)
+
+
+def test_large_preset_doubles_l0x_quadruples_l1x():
+    small = small_config()
+    large = large_config()
+    assert large.tile.l0x.size_bytes == 2 * small.tile.l0x.size_bytes
+    assert large.tile.l1x.size_bytes == 4 * small.tile.l1x.size_bytes
+    # +2 cycles L1X latency, per Section 5.5.
+    assert large.tile.l1x.hit_latency == small.tile.l1x.hit_latency + 2
+
+
+def test_cache_geometry_derivations():
+    cache = CacheConfig(size_bytes=4 * KB, ways=4)
+    assert cache.num_sets == 16
+    assert cache.num_lines == 64
+    assert cache.set_index(0) == 0
+    assert cache.set_index(64) == 1
+    assert cache.set_index(64 * 16) == 0  # wraps around
+
+
+def test_cache_rejects_non_power_of_two_sets():
+    with pytest.raises(ConfigError):
+        CacheConfig(size_bytes=3 * KB, ways=4)
+
+
+def test_cache_rejects_undersized():
+    with pytest.raises(ConfigError):
+        CacheConfig(size_bytes=32, ways=1)
+
+
+def test_cache_rejects_bad_latency():
+    with pytest.raises(ConfigError):
+        CacheConfig(size_bytes=4 * KB, ways=4, hit_latency=0)
+
+
+def test_scratchpad_rejects_unaligned():
+    with pytest.raises(ConfigError):
+        ScratchpadConfig(size_bytes=100)
+
+
+def test_scratchpad_block_count():
+    assert ScratchpadConfig(size_bytes=4 * KB).num_blocks == 64
+
+
+def test_with_l0x_write_policy_is_nondestructive():
+    base = small_config()
+    wt = base.with_l0x_write_policy(WritePolicy.WRITE_THROUGH)
+    assert wt.tile.l0x.write_policy is WritePolicy.WRITE_THROUGH
+    assert base.tile.l0x.write_policy is WritePolicy.WRITE_BACK
+    # Everything else is unchanged.
+    assert wt.tile.l1x == base.tile.l1x
+
+
+def test_with_lease():
+    config = small_config().with_lease(999)
+    assert config.tile.default_lease == 999
+
+
+def test_configs_are_hashable_for_memoisation():
+    assert hash(small_config()) == hash(small_config())
+    assert small_config() == small_config()
+    assert small_config() != large_config()

@@ -1,0 +1,77 @@
+"""Config persistence (repro.common.config_io)."""
+
+import pytest
+
+from repro.common.config import ConfigError, WritePolicy, large_config, \
+    small_config
+from repro.common.config_io import (
+    config_from_dict,
+    config_from_json,
+    config_to_dict,
+    config_to_json,
+    load_config,
+    save_config,
+)
+
+
+def test_full_roundtrip_via_dict():
+    config = large_config()
+    rebuilt = config_from_dict(config_to_dict(config))
+    assert rebuilt == config
+
+
+def test_full_roundtrip_via_file(tmp_path):
+    path = tmp_path / "config.json"
+    save_config(large_config(), path)
+    assert load_config(path) == large_config()
+
+
+def test_partial_override_keeps_defaults():
+    config = config_from_dict({"tile": {"default_lease": 999}})
+    assert config.tile.default_lease == 999
+    assert config.tile.l1x == small_config().tile.l1x
+
+
+def test_nested_cache_override():
+    config = config_from_dict({"tile": {"l0x": {"size_bytes": 8192}}})
+    assert config.tile.l0x.size_bytes == 8192
+    assert config.tile.l0x.ways == small_config().tile.l0x.ways
+
+
+def test_write_policy_as_string():
+    config = config_from_dict(
+        {"tile": {"l0x": {"write_policy": "WRITE_THROUGH"}}})
+    assert config.tile.l0x.write_policy is WritePolicy.WRITE_THROUGH
+
+
+def test_bad_write_policy_rejected():
+    with pytest.raises(ConfigError):
+        config_from_dict({"tile": {"l0x": {"write_policy": "MAYBE"}}})
+
+
+def test_unknown_field_rejected_with_path():
+    with pytest.raises(ConfigError, match="tile.l0x.colour"):
+        config_from_dict({"tile": {"l0x": {"colour": "red"}}})
+
+
+def test_geometry_validation_still_applies():
+    with pytest.raises(ConfigError):
+        config_from_dict({"tile": {"l0x": {"size_bytes": 3000}}})
+
+
+def test_invalid_json_rejected():
+    with pytest.raises(ConfigError):
+        config_from_json("{not json")
+
+
+def test_non_object_rejected():
+    with pytest.raises(ConfigError):
+        config_from_dict({"tile": 7})
+
+
+def test_loaded_config_is_hashable_and_runnable():
+    config = config_from_dict({"name": "custom",
+                               "tile": {"default_lease": 250}})
+    from repro.sim.simulator import run
+    result = run("FUSION", "adpcm", "tiny", config)
+    assert result.config_name == "custom"

@@ -1,0 +1,71 @@
+"""Cross-system conservation laws.
+
+The workload trace is the single source of truth: every system replays
+the same operations, so several quantities must agree across designs
+regardless of how differently they move the data.
+"""
+
+import pytest
+
+from repro.sim.simulator import run
+from repro.workloads.registry import BENCHMARKS, build_workload
+
+SYSTEMS = ("SCRATCH", "SHARED", "FUSION", "FUSION-Dx", "IDEAL",
+           "FUSION-PIPE")
+
+
+def mem_ops(result):
+    return sum(v for k, v in result.stats.items()
+               if k.endswith(".mem_ops"))
+
+
+def compute_ops(result):
+    return sum(v for k, v in result.stats.items()
+               if k.endswith(".int_ops") or k.endswith(".fp_ops"))
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS)
+def test_every_system_replays_the_same_memory_ops(bench):
+    counts = {system: mem_ops(run(system, bench, "tiny"))
+              for system in SYSTEMS}
+    expected = sum(t.num_mem_ops
+                   for t in build_workload(bench, "tiny").invocations)
+    assert set(counts.values()) == {expected}
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS)
+def test_every_system_performs_the_same_compute(bench):
+    counts = {system: compute_ops(run(system, bench, "tiny"))
+              for system in SYSTEMS}
+    assert len(set(counts.values())) == 1
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS)
+def test_compute_energy_identical_across_systems(bench):
+    energies = {system: run(system, bench, "tiny").energy["compute"]
+                for system in SYSTEMS}
+    baseline = energies["SCRATCH"]
+    for system, value in energies.items():
+        assert value == pytest.approx(baseline), system
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS)
+def test_invocation_count_identical(bench):
+    workload = build_workload(bench, "tiny")
+    expected = len(workload.invocations)
+    for system in SYSTEMS:
+        result = run(system, bench, "tiny")
+        total = sum(v for k, v in result.stats.items()
+                    if k.startswith("invocation.") and
+                    k.endswith(".count"))
+        assert total == expected, system
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS)
+def test_ideal_is_the_cycle_floor_and_scratch_exec_matches(bench):
+    """SCRATCH's pure-execution time (cycles minus DMA) equals IDEAL's:
+    both serve every access in one cycle."""
+    ideal = run("IDEAL", bench, "tiny")
+    scratch = run("SCRATCH", bench, "tiny")
+    exec_cycles = scratch.accel_cycles - scratch.stat("dma.cycles")
+    assert exec_cycles == pytest.approx(ideal.accel_cycles, rel=0.01)

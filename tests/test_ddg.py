@@ -1,0 +1,86 @@
+"""Dependence-graph analysis (repro.accel.ddg)."""
+
+import pytest
+
+from repro.accel.ddg import MAX_PIPELINE_MLP, analyze, build_ddg
+from repro.common.types import AccessType, ComputeOp, FunctionTrace, MemOp
+
+
+def load(addr):
+    return MemOp(AccessType.LOAD, addr)
+
+
+def store(addr):
+    return MemOp(AccessType.STORE, addr)
+
+
+def trace(ops):
+    return FunctionTrace(name="f", benchmark="b", ops=ops)
+
+
+def test_op_mix_counts():
+    metrics = analyze(trace([
+        load(0), load(64), ComputeOp(int_ops=2, fp_ops=1), store(128)]))
+    assert metrics.loads == 2
+    assert metrics.stores == 1
+    assert metrics.int_ops == 2
+    assert metrics.fp_ops == 1
+    assert metrics.total_ops == 6
+
+
+def test_mix_percent_sums_to_100():
+    metrics = analyze(trace([
+        load(0), ComputeOp(int_ops=3), store(64)]))
+    assert sum(metrics.mix_percent()) == pytest.approx(100.0)
+
+
+def test_parallel_loads_share_a_level():
+    nodes = build_ddg(trace([load(0), load(64), ComputeOp(int_ops=1)]))
+    assert nodes[0].level == nodes[1].level
+    assert nodes[2].level == nodes[0].level + 1
+
+
+def test_memory_dependence_serialises():
+    nodes = build_ddg(trace([store(0), load(0)]))
+    assert nodes[1].level == nodes[0].level + 1
+
+
+def test_independent_blocks_do_not_serialise():
+    nodes = build_ddg(trace([store(0), load(64)]))
+    assert nodes[1].level == nodes[0].level
+
+
+def test_compute_spine_orders_iterations():
+    # load, compute, load, compute: the second load depends on the
+    # first compute (address generation / loop spine).
+    nodes = build_ddg(trace([
+        load(0), ComputeOp(int_ops=1), load(64), ComputeOp(int_ops=1)]))
+    assert nodes[2].level > nodes[1].level
+
+
+def test_mlp_two_loads_per_level():
+    metrics = analyze(trace([
+        load(0), load(64), ComputeOp(int_ops=1), store(128),
+        load(192), load(256), ComputeOp(int_ops=1), store(320),
+    ]))
+    # Per iteration: 2 loads in one level, 1 store in another.
+    assert 1.0 <= metrics.mlp <= 2.0
+
+
+def test_pipe_mlp_counts_mem_ops_per_chunk():
+    metrics = analyze(trace([
+        load(0), load(64), load(128), ComputeOp(int_ops=1), store(192)]))
+    assert metrics.pipe_mlp == pytest.approx(4.0)
+
+
+def test_pipe_mlp_is_capped():
+    ops = [load(i * 64) for i in range(32)] + [ComputeOp(int_ops=1)]
+    metrics = analyze(trace(ops))
+    assert metrics.pipe_mlp == MAX_PIPELINE_MLP
+
+
+def test_empty_trace():
+    metrics = analyze(trace([]))
+    assert metrics.total_ops == 0
+    assert metrics.mix_percent() == (0.0, 0.0, 0.0, 0.0)
+    assert metrics.mlp == 1.0

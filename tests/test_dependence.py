@@ -1,0 +1,90 @@
+"""Inter-invocation dependence analysis (repro.workloads.dependence)."""
+
+from repro.common.types import AccessType, FunctionTrace, MemOp, \
+    WorkloadTrace
+from repro.workloads.dependence import invocation_dependences, \
+    parallelism_profile
+
+
+def load(addr):
+    return MemOp(AccessType.LOAD, addr)
+
+
+def store(addr):
+    return MemOp(AccessType.STORE, addr)
+
+
+def make(*traces):
+    return WorkloadTrace(benchmark="b", invocations=[
+        FunctionTrace(name=name, benchmark="b", ops=list(ops))
+        for name, ops in traces])
+
+
+def test_raw_dependence():
+    deps = invocation_dependences(make(
+        ("p", [store(0)]), ("c", [load(0)])))
+    assert deps == {0: set(), 1: {0}}
+
+
+def test_war_dependence():
+    deps = invocation_dependences(make(
+        ("reader", [load(0)]), ("writer", [store(0)])))
+    assert deps[1] == {0}
+
+
+def test_waw_dependence():
+    deps = invocation_dependences(make(
+        ("w1", [store(0)]), ("w2", [store(0)])))
+    assert deps[1] == {0}
+
+
+def test_read_read_is_independent():
+    deps = invocation_dependences(make(
+        ("r1", [load(0)]), ("r2", [load(0)])))
+    assert deps[1] == set()
+
+
+def test_disjoint_blocks_are_independent():
+    deps = invocation_dependences(make(
+        ("a", [store(0)]), ("b", [store(128)])))
+    assert deps[1] == set()
+
+
+def test_same_axc_serialises_even_when_independent():
+    deps = invocation_dependences(make(
+        ("f", [store(0)]), ("f", [store(128)])))
+    # Same function name -> same AXC -> program-order edge.
+    assert deps[1] == {0}
+
+
+def test_transitive_reduction():
+    deps = invocation_dependences(make(
+        ("a", [store(0)]),
+        ("b", [load(0), store(64)]),
+        ("c", [load(0), load(64)])))
+    # c depends on a transitively through b: only the b edge remains.
+    assert deps[2] == {1}
+
+
+def test_parallelism_profile_chain():
+    crit, total, width = parallelism_profile(make(
+        ("a", [store(0)]), ("b", [load(0), store(64)]),
+        ("c", [load(64)])))
+    assert (crit, total, width) == (3, 3, 1)
+
+
+def test_parallelism_profile_diamond():
+    crit, total, width = parallelism_profile(make(
+        ("src", [store(0), store(64)]),
+        ("left", [load(0), store(128)]),
+        ("right", [load(64), store(192)]),
+        ("sink", [load(128), load(192)])))
+    assert (crit, total, width) == (3, 4, 2)
+
+
+def test_real_workloads_have_acyclic_graphs(any_tiny_workload):
+    deps = invocation_dependences(any_tiny_workload)
+    # A topological order exists (the program order is one), so every
+    # dependence must point backwards.
+    for j, sources in deps.items():
+        assert all(i < j for i in sources)

@@ -1,0 +1,97 @@
+"""L2 coherence directory (repro.coherence.directory)."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.common.stats import StatsRegistry
+from repro.coherence.directory import HOST, TILE, Directory, DirectoryEntry
+
+
+def test_entry_starts_idle():
+    entry = DirectoryEntry()
+    assert entry.is_idle
+    assert not entry.cached_by(HOST)
+
+
+def test_add_sharer_and_owner():
+    entry = DirectoryEntry()
+    entry.add_sharer(HOST)
+    assert entry.cached_by(HOST)
+    entry.remove(HOST)
+    entry.set_owner(TILE)
+    assert entry.owner == TILE
+    assert entry.cached_by(TILE)
+
+
+def test_owner_excludes_other_sharers():
+    entry = DirectoryEntry()
+    entry.add_sharer(HOST)
+    with pytest.raises(ProtocolError):
+        entry.set_owner(TILE)
+
+
+def test_sharer_while_owned_by_other_raises():
+    entry = DirectoryEntry()
+    entry.set_owner(TILE)
+    with pytest.raises(ProtocolError):
+        entry.add_sharer(HOST)
+
+
+def test_owner_may_also_be_listed_sharer():
+    entry = DirectoryEntry()
+    entry.add_sharer(HOST)
+    entry.set_owner(HOST)  # upgrade, legal
+    assert entry.owner == HOST
+
+
+def test_remove_clears_ownership():
+    entry = DirectoryEntry()
+    entry.set_owner(TILE)
+    entry.remove(TILE)
+    assert entry.is_idle
+
+
+def test_invalid_agent_rejected():
+    entry = DirectoryEntry()
+    with pytest.raises(ProtocolError):
+        entry.add_sharer("")
+    with pytest.raises(ProtocolError):
+        entry.add_sharer(None)
+
+
+def test_extra_tile_agents_accepted():
+    entry = DirectoryEntry()
+    entry.set_owner("tile1")  # multi-tile systems register new names
+    assert entry.cached_by("tile1")
+
+
+def make_directory():
+    return Directory(StatsRegistry())
+
+
+def test_directory_creates_entries_on_demand():
+    directory = make_directory()
+    assert directory.lookup(0x40) is None
+    entry = directory.entry(0x40)
+    assert directory.lookup(0x40) is entry
+
+
+def test_tile_filter():
+    directory = make_directory()
+    assert not directory.tile_caches(0x40)
+    directory.entry(0x40).set_owner(TILE)
+    assert directory.tile_caches(0x40)
+
+
+def test_blocks_owned_by():
+    directory = make_directory()
+    directory.entry(0).set_owner(TILE)
+    directory.entry(64).set_owner(HOST)
+    assert directory.blocks_owned_by(TILE) == [0]
+
+
+def test_drop():
+    directory = make_directory()
+    directory.entry(0)
+    directory.drop(0)
+    assert directory.lookup(0) is None

@@ -1,0 +1,142 @@
+"""Oracle DMA: window partitioning and the controller (repro.host.dma)."""
+
+import pytest
+
+from repro.common.config import small_config
+from repro.common.stats import StatsRegistry
+from repro.common.types import AccessType, ComputeOp, FunctionTrace, MemOp
+from repro.coherence.mesi import HostMemorySystem
+from repro.host.dma import OracleDmaController, ScratchpadAccessModel, \
+    partition_windows
+from repro.mem.scratchpad import Scratchpad
+from repro.mem.tlb import PageTable
+
+
+def load(addr):
+    return MemOp(AccessType.LOAD, addr)
+
+
+def store(addr):
+    return MemOp(AccessType.STORE, addr)
+
+
+def trace(ops):
+    return FunctionTrace(name="f", benchmark="b", ops=ops)
+
+
+def test_single_window_when_fits():
+    windows = partition_windows(trace([load(0), load(64), store(128)]),
+                                capacity_blocks=4)
+    assert len(windows) == 1
+
+
+def test_window_splits_at_capacity():
+    ops = [load(i * 64) for i in range(5)]
+    windows = partition_windows(trace(ops), capacity_blocks=2)
+    assert len(windows) == 3
+    for window in windows:
+        assert len(window.blocks) <= 2
+
+
+def test_ops_are_preserved_in_order():
+    ops = [load(i * 64) for i in range(5)]
+    windows = partition_windows(trace(ops), capacity_blocks=2)
+    flattened = [op for w in windows for op in w.ops]
+    assert flattened == ops
+
+
+def test_in_blocks_are_read_first_only():
+    ops = [store(0), load(0),     # write-first: no staging needed
+           load(64), store(64)]   # read-first: staged
+    window = partition_windows(trace(ops), capacity_blocks=8)[0]
+    assert window.in_blocks == [64]
+
+
+def test_out_blocks_are_stores():
+    ops = [load(0), store(64), store(128)]
+    window = partition_windows(trace(ops), capacity_blocks=8)[0]
+    assert window.out_blocks == [64, 128]
+
+
+def test_repeated_touches_do_not_split():
+    ops = [load(0), load(0), load(0), store(0)]
+    windows = partition_windows(trace(ops), capacity_blocks=1)
+    assert len(windows) == 1
+
+
+def test_compute_ops_ride_along():
+    ops = [load(0), ComputeOp(int_ops=3), store(64)]
+    window = partition_windows(trace(ops), capacity_blocks=8)[0]
+    assert any(isinstance(op, ComputeOp) for op in window.ops)
+
+
+def make_dma():
+    config = small_config()
+    stats = StatsRegistry()
+    mem = HostMemorySystem(config, stats)
+    dma = OracleDmaController(config, mem, PageTable(), stats)
+    scratchpad = Scratchpad(config.tile.scratchpad)
+    return dma, scratchpad, stats, config
+
+
+def test_transfer_in_stages_blocks():
+    dma, sp, stats, _ = make_dma()
+    latency = dma.transfer_in([0, 64, 128], sp, now=0)
+    assert latency > 0
+    assert sp.occupancy == 3
+    assert stats.get("dma.blocks_in") == 3
+    assert stats.get("dma.bytes_in") == 192
+    assert stats.get("dma.transfers_in") == 1
+    # Each staged block was read coherently at the LLC.
+    assert stats.get("l2.accesses") >= 3
+
+
+def test_empty_transfer_is_free():
+    dma, sp, stats, _ = make_dma()
+    assert dma.transfer_in([], sp, now=0) == 0
+    assert stats.get("dma.transfers_in") == 0
+
+
+def test_transfer_out_writes_llc():
+    dma, sp, stats, _ = make_dma()
+    latency = dma.transfer_out([0, 64], now=0)
+    assert latency > 0
+    assert stats.get("dma.blocks_out") == 2
+    assert stats.get("l2.writes") >= 2
+
+
+def test_stream_latency_includes_setup_and_per_block():
+    dma, sp, stats, config = make_dma()
+    one = dma.transfer_in([0], sp, 0)
+    sp.drain()
+    many = dma.transfer_in([i * 64 for i in range(10)], sp, 0)
+    assert many - one >= 9 * config.dma.per_block_cycles - 1
+    assert one >= config.dma.setup_latency
+
+
+def test_total_bytes_property():
+    dma, sp, _, _ = make_dma()
+    dma.transfer_in([0], sp, 0)
+    dma.transfer_out([0], 0)
+    assert dma.total_bytes == 128
+
+
+def test_scratchpad_model_allocates_write_first():
+    config = small_config()
+    stats = StatsRegistry()
+    sp = Scratchpad(config.tile.scratchpad)
+    model = ScratchpadAccessModel(config, sp, stats)
+    latency = model.access(store(0x40), now=0)
+    assert latency == config.tile.scratchpad.access_latency
+    assert sp.contains(0x40)
+    assert sp.dirty_blocks() == [0x40]
+    assert stats.get("scratchpad.energy_pj") > 0
+
+
+def test_scratchpad_model_rejects_unstaged_load():
+    from repro.common.errors import SimulationError
+    config = small_config()
+    model = ScratchpadAccessModel(config, Scratchpad(config.tile.scratchpad),
+                                  StatsRegistry())
+    with pytest.raises(SimulationError):
+        model.access(load(0x40), now=0)

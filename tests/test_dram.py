@@ -1,0 +1,60 @@
+"""DRAM open-page model (repro.mem.dram)."""
+
+from repro.common.config import DramConfig
+from repro.common.stats import StatsRegistry
+from repro.mem.dram import DRAM_ACCESS_PJ, MainMemory
+
+
+def make_dram():
+    stats = StatsRegistry()
+    return MainMemory(DramConfig(), stats), stats
+
+
+def test_first_access_is_row_miss():
+    dram, stats = make_dram()
+    latency = dram.access(0)
+    assert latency == DramConfig().latency
+    assert stats.get("dram.row_misses") == 1
+
+
+def test_same_page_hits_open_row():
+    dram, stats = make_dram()
+    dram.access(0)
+    latency = dram.access(64)  # same 4 kB page
+    assert latency == DramConfig().open_page_latency
+    assert stats.get("dram.row_hits") == 1
+
+
+def test_different_page_same_channel_misses():
+    config = DramConfig()
+    dram, stats = make_dram()
+    dram.access(0)
+    far = config.page_size * config.channels  # same channel, new row
+    assert dram.access(far) == config.latency
+    assert stats.get("dram.row_misses") == 2
+
+
+def test_channels_keep_independent_open_rows():
+    config = DramConfig()
+    dram, stats = make_dram()
+    dram.access(0)                      # channel 0
+    dram.access(config.page_size)       # channel 1
+    # Both rows remain open.
+    assert dram.access(32) == config.open_page_latency
+    assert dram.access(config.page_size + 32) == config.open_page_latency
+
+
+def test_energy_and_rw_counters():
+    dram, stats = make_dram()
+    dram.access(0)
+    dram.access(64, is_store=True)
+    assert stats.get("dram.reads") == 1
+    assert stats.get("dram.writes") == 1
+    assert stats.get("dram.energy_pj") == 2 * DRAM_ACCESS_PJ
+
+
+def test_reset_closes_rows():
+    dram, stats = make_dram()
+    dram.access(0)
+    dram.reset()
+    assert dram.access(0) == DramConfig().latency

@@ -1,0 +1,95 @@
+"""Energy models: CACTI-style caches and Aladdin-style datapaths."""
+
+import pytest
+
+from repro.common.config import CacheConfig, ScratchpadConfig, small_config, \
+    large_config
+from repro.common.units import KB
+from repro.energy import accel_energy, cacti
+
+
+def test_energy_grows_with_capacity():
+    small = CacheConfig(4 * KB, 4)
+    big = CacheConfig(64 * KB, 4)
+    assert cacti.cache_access_energy_pj(big) > \
+        cacti.cache_access_energy_pj(small)
+
+
+def test_banking_reduces_energy():
+    flat = CacheConfig(64 * KB, 8, banks=1)
+    banked = CacheConfig(64 * KB, 8, banks=16)
+    assert cacti.cache_access_energy_pj(banked) < \
+        cacti.cache_access_energy_pj(flat)
+
+
+def test_paper_anchor_l0x_vs_banked_l1x():
+    """Lesson 3: a 4 kB L0X is ~1.5x more energy efficient than the
+    heavily banked 64 kB L1X."""
+    config = small_config()
+    l0x = cacti.cache_access_energy_pj(config.tile.l0x)
+    l1x = cacti.cache_access_energy_pj(config.tile.l1x)
+    assert 1.2 < l1x / l0x < 1.9
+
+
+def test_paper_anchor_large_l1x_twice_small():
+    """Section 5.5: the 256 kB L1X costs ~2x the 64 kB L1X per access."""
+    small = small_config().tile.l1x
+    large = large_config().tile.l1x
+    ratio = (cacti.cache_access_energy_pj(large)
+             / cacti.cache_access_energy_pj(small))
+    assert 1.7 < ratio < 2.3
+
+
+def test_timestamp_tag_overhead_is_15_percent():
+    plain = cacti.tag_array_energy_pj(4 * KB, 4)
+    stamped = cacti.tag_array_energy_pj(4 * KB, 4, timestamp_bits=32)
+    assert stamped / plain == pytest.approx(1.15)
+
+
+def test_scratchpad_cheaper_than_same_size_cache():
+    sp = cacti.scratchpad_access_energy_pj(ScratchpadConfig(4 * KB))
+    cache = cacti.cache_access_energy_pj(CacheConfig(4 * KB, 4))
+    assert sp < cache
+
+
+def test_write_slightly_costlier_than_read():
+    config = CacheConfig(4 * KB, 4)
+    read = cacti.cache_access_energy_pj(config)
+    write = cacti.cache_access_energy_pj(config, is_store=True)
+    assert read < write < 1.2 * read
+
+
+def test_llc_energy_anchor():
+    """The 4 MB NUCA LLC lands near CACTI 6.0's ~0.5 nJ per access."""
+    energy = cacti.llc_bank_access_energy_pj(small_config().host)
+    assert 300 < energy < 800
+
+
+def test_hierarchy_energy_ordering():
+    config = small_config()
+    l0x = cacti.cache_access_energy_pj(config.tile.l0x)
+    l1x = cacti.cache_access_energy_pj(config.tile.l1x)
+    llc = cacti.llc_bank_access_energy_pj(config.host)
+    assert l0x < l1x < llc
+
+
+def test_wire_length_formula():
+    # Paper: Wire Length = 2 * sum(sqrt(area_i))
+    assert cacti.wire_length_mm([1.0, 4.0]) == pytest.approx(2 * (1 + 2))
+
+
+def test_compute_energy_anchors():
+    assert accel_energy.INT_OP_PJ == pytest.approx(0.5)  # paper's figure
+    assert accel_energy.compute_energy_pj(10, 0) == pytest.approx(5.0)
+    assert accel_energy.compute_energy_pj(0, 10) == pytest.approx(
+        10 * accel_energy.FP_OP_PJ)
+
+
+def test_invocation_energy_counts_all_chunks():
+    from repro.common.types import ComputeOp, FunctionTrace
+    trace = FunctionTrace(name="f", benchmark="b", ops=[
+        ComputeOp(int_ops=4), ComputeOp(fp_ops=2)])
+    energy = accel_energy.invocation_energy_pj(trace)
+    expected = (4 * accel_energy.INT_OP_PJ + 2 * accel_energy.FP_OP_PJ
+                + accel_energy.INVOCATION_OVERHEAD_PJ)
+    assert energy == pytest.approx(expected)

@@ -1,0 +1,70 @@
+"""Smoke tests: every shipped example runs end to end.
+
+Examples are the public API's contract; each is executed as a real
+subprocess at the smallest workload size.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout, check=False)
+
+
+def test_quickstart():
+    proc = run_example("quickstart.py", "adpcm", "tiny")
+    assert proc.returncode == 0, proc.stderr
+    assert "FUSION results" in proc.stdout
+    assert "energy breakdown" in proc.stdout
+    assert "AX-TLB lookups" in proc.stdout
+
+
+def test_image_pipeline():
+    proc = run_example("image_pipeline.py")
+    assert proc.returncode == 0, proc.stderr
+    for system in ("SCRATCH", "SHARED", "FUSION", "FUSION-Dx"):
+        assert system in proc.stdout
+    assert "vs SCRATCH" in proc.stdout
+
+
+def test_compare_systems():
+    proc = run_example("compare_systems.py", "tiny")
+    assert proc.returncode == 0, proc.stderr
+    assert "geomean" in proc.stdout
+    assert "filtered" in proc.stdout
+
+
+def test_design_space_sweep():
+    proc = run_example("design_space_sweep.py", "adpcm", "tiny")
+    assert proc.returncode == 0, proc.stderr
+    assert "cache-size sweep" in proc.stdout
+    assert "lease-length sweep" in proc.stdout
+
+
+def test_efficiency_analysis():
+    proc = run_example("efficiency_analysis.py", "tiny")
+    assert proc.returncode == 0, proc.stderr
+    assert "efficiency" in proc.stdout
+    assert "mm^2" in proc.stdout
+
+
+@pytest.mark.parametrize("name", ["quickstart.py", "image_pipeline.py",
+                                  "compare_systems.py",
+                                  "design_space_sweep.py",
+                                  "efficiency_analysis.py"])
+def test_examples_emit_no_stderr(name):
+    args = {"quickstart.py": ("adpcm", "tiny"),
+            "design_space_sweep.py": ("adpcm", "tiny"),
+            "compare_systems.py": ("tiny",),
+            "efficiency_analysis.py": ("tiny",)}.get(name, ())
+    proc = run_example(name, *args)
+    assert proc.returncode == 0
+    assert proc.stderr.strip() == ""

@@ -1,0 +1,116 @@
+"""The experiment layer (repro.sim.experiments, repro.sim.reporting)."""
+
+import pytest
+
+from repro.sim import experiments
+from repro.sim.reporting import ExperimentTable
+
+TINY = dict(size="tiny")
+ONE = dict(size="tiny", benchmarks=("adpcm",))
+
+
+def test_reporting_render_aligns_columns():
+    table = ExperimentTable("X", "title", ["A", "Long header"])
+    table.add_row(1, 2.5)
+    table.add_row("wide cell", 10000.0)
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "== X : title =="
+    assert len({len(line) for line in lines[1:4]}) == 1  # aligned
+
+
+def test_reporting_float_formats():
+    table = ExperimentTable("X", "t", ["v"])
+    table.add_row(0.1234)
+    table.add_row(12.34)
+    table.add_row(1234.5)
+    assert table.column("v") == ["0.12", "12.3", "1234"]
+
+
+def test_reporting_notes_rendered():
+    table = ExperimentTable("X", "t", ["v"])
+    table.add_note("hello")
+    assert "note: hello" in table.render()
+
+
+def test_table1_has_a_row_per_function():
+    table = experiments.table1(**ONE)
+    assert len(table.rows) == 2  # coder + decoder
+    assert table.headers[:2] == ["Benchmark", "Function"]
+
+
+def test_table2_lists_components():
+    table = experiments.table2()
+    components = table.column("Component")
+    assert "L0X" in components and "L1X" in components
+
+
+def test_table3_percentages_sum_per_benchmark():
+    table = experiments.table3(**ONE)
+    total = sum(float(cell) for cell in table.column("%En"))
+    assert total == pytest.approx(100.0, abs=0.5)
+
+
+def test_table4_reports_both_policies():
+    table = experiments.table4(**ONE)
+    wt = float(table.column("Write-Through")[0])
+    wb = float(table.column("Writeback")[0])
+    assert wt > 0 and wb > 0
+
+
+def test_table5_reports_forwarding():
+    table = experiments.table5(size="tiny", benchmarks=("fft",))
+    assert int(table.column("#FWD Blocks")[0]) > 0
+
+
+def test_table6_counts_lookups():
+    table = experiments.table6(**ONE)
+    assert int(table.column("AX-TLB")[0]) > 0
+    assert int(table.column("AX-RMAP")[0]) > 0
+
+
+def test_figure6_energy_normalises_scratch_to_one():
+    table = experiments.figure6_energy(**ONE)
+    scratch_row = [row for row in table.rows if row[1] == "SCRATCH"][0]
+    assert float(scratch_row[2]) == pytest.approx(1.0)
+
+
+def test_figure6_performance_rows():
+    table = experiments.figure6_performance(**ONE)
+    assert table.column("SCRATCH") == ["1.00"]
+    assert float(table.column("FUSION")[0]) > 0
+
+
+def test_figure6_traffic_shared_heaviest_on_axc_link():
+    table = experiments.figure6_traffic(**ONE)
+    by_system = {row[1]: int(row[2]) for row in table.rows}
+    assert by_system["SHARED"] > by_system["FUSION"] > \
+        by_system["SCRATCH"]
+
+
+def test_figure6_dma_only_scratch():
+    table = experiments.figure6_dma(**ONE)
+    assert float(table.column("DMA(kB)")[0]) > 0
+    assert float(table.column("WSet(kB)")[0]) > 0
+
+
+def test_figure7_compares_configs():
+    table = experiments.figure7(**ONE)
+    assert float(table.column("Energy L/S")[0]) > 0
+
+
+def test_headline_builds():
+    table = experiments.headline(size="tiny")
+    assert len(table.rows) == 6
+
+
+def test_all_experiments_registry_complete():
+    assert set(experiments.ALL_EXPERIMENTS) == {
+        "table1", "table2", "table3", "table4", "table5", "table6",
+        "fig6a", "fig6b", "fig6c", "fig6d", "fig7", "headline"}
+
+
+def test_geomean():
+    assert experiments._geomean([1, 4]) == pytest.approx(2.0)
+    assert experiments._geomean([]) == 0.0
+    assert experiments._geomean([0, 2]) == pytest.approx(2.0)

@@ -1,0 +1,78 @@
+"""Result export (repro.sim.export)."""
+
+import csv
+import io
+import json
+
+from repro.sim.export import (
+    result_to_dict,
+    result_to_json,
+    results_to_csv,
+    table_to_csv,
+    table_to_dict,
+    table_to_json,
+)
+from repro.sim.reporting import ExperimentTable
+from repro.sim.simulator import run
+
+
+def sample_table():
+    table = ExperimentTable("Table X", "demo", ["a", "b"])
+    table.add_row(1, 2.5)
+    table.add_row("x,y", 3)
+    table.add_note("hello")
+    return table
+
+
+def test_table_to_csv_quotes_commas():
+    text = table_to_csv(sample_table())
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0] == ["a", "b"]
+    assert rows[2][0] == "x,y"
+
+
+def test_table_to_dict_and_json():
+    payload = table_to_dict(sample_table())
+    assert payload["id"] == "Table X"
+    assert payload["notes"] == ["hello"]
+    parsed = json.loads(table_to_json(sample_table()))
+    assert parsed == payload
+
+
+def test_result_to_dict_fields():
+    result = run("FUSION", "adpcm", "tiny")
+    payload = result_to_dict(result)
+    assert payload["system"] == "FUSION"
+    assert payload["benchmark"] == "adpcm"
+    assert payload["accel_cycles"] > 0
+    assert payload["energy_pj"] > 0
+    assert "local" in payload["energy_components_pj"]
+    assert "stats" not in payload
+
+
+def test_result_to_dict_with_stats():
+    result = run("FUSION", "adpcm", "tiny")
+    payload = result_to_dict(result, include_stats=True)
+    assert payload["stats"]["l1x.accesses"] > 0
+
+
+def test_result_to_json_parses():
+    result = run("SCRATCH", "adpcm", "tiny")
+    parsed = json.loads(result_to_json(result))
+    assert parsed["dma_kb"] > 0
+
+
+def test_results_to_csv_comparison():
+    results = [run(s, "adpcm", "tiny")
+               for s in ("SCRATCH", "SHARED", "FUSION")]
+    text = results_to_csv(results)
+    rows = list(csv.reader(io.StringIO(text)))
+    assert len(rows) == 4
+    assert "system" in rows[0]
+    assert "energy_local_pj" in rows[0]
+    assert {row[0] for row in rows[1:]} == {"SCRATCH", "SHARED",
+                                            "FUSION"}
+
+
+def test_results_to_csv_empty():
+    assert results_to_csv([]) == ""

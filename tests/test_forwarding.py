@@ -1,0 +1,67 @@
+"""FUSION-Dx forwarding post-pass (repro.workloads.forwarding)."""
+
+from repro.common.types import AccessType, FunctionTrace, MemOp, \
+    WorkloadTrace
+from repro.workloads.forwarding import forwarding_plan, total_forwarded
+
+
+def load(addr):
+    return MemOp(AccessType.LOAD, addr)
+
+
+def store(addr):
+    return MemOp(AccessType.STORE, addr)
+
+
+def make(invocations):
+    return WorkloadTrace(benchmark="b", invocations=invocations)
+
+
+def test_producer_consumer_pair_is_planned():
+    workload = make([
+        FunctionTrace(name="p", benchmark="b", ops=[store(0), store(64)]),
+        FunctionTrace(name="c", benchmark="b", ops=[load(0), store(64)]),
+    ])
+    plan = forwarding_plan(workload)
+    # Block 0 is read-first by the consumer; block 64 is written first
+    # (the consumer does not need the producer's value).
+    assert plan == {0: [(0, 1)]}
+    assert total_forwarded(plan) == 1
+
+
+def test_same_axc_invocations_never_forward():
+    workload = make([
+        FunctionTrace(name="p", benchmark="b", ops=[store(0)]),
+        FunctionTrace(name="p", benchmark="b", ops=[load(0)]),
+    ])
+    assert forwarding_plan(workload) == {}
+
+
+def test_untouched_blocks_not_forwarded():
+    workload = make([
+        FunctionTrace(name="p", benchmark="b", ops=[store(0)]),
+        FunctionTrace(name="c", benchmark="b", ops=[load(128)]),
+    ])
+    assert forwarding_plan(workload) == {}
+
+
+def test_chain_forwards_pairwise():
+    workload = make([
+        FunctionTrace(name="a", benchmark="b", ops=[store(0)]),
+        FunctionTrace(name="b_", benchmark="b", ops=[load(0), store(64)]),
+        FunctionTrace(name="c", benchmark="b", ops=[load(64)]),
+    ])
+    plan = forwarding_plan(workload)
+    assert plan == {0: [(0, 1)], 1: [(64, 2)]}
+
+
+def test_plan_on_real_benchmark_points_forward(fft_tiny):
+    plan = forwarding_plan(fft_tiny)
+    assert total_forwarded(plan) > 0
+    for index, entries in plan.items():
+        producer = fft_tiny.invocations[index]
+        producer_axc = fft_tiny.axc_of(producer.name)
+        dirty = producer.dirty_blocks()
+        for block, consumer in entries:
+            assert consumer != producer_axc
+            assert block in dirty

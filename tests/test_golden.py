@@ -1,0 +1,61 @@
+"""Golden-value regression tests.
+
+The simulator is fully deterministic, so every (system, benchmark)
+pair's headline numbers are locked exactly.  A change to any model —
+latency, energy, protocol, kernel — that shifts results will trip these
+tests; if the shift is intentional, regenerate the goldens:
+
+    python -c "import tests.test_golden as g; g.regenerate()"
+
+and review the diff like any other code change.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+import repro
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_tiny.json"
+SYSTEMS = ("SCRATCH", "SHARED", "FUSION", "FUSION-Dx", "IDEAL",
+           "FUSION-PIPE")
+
+
+def load_golden():
+    with open(GOLDEN_PATH) as fileobj:
+        return json.load(fileobj)
+
+
+def current(system, bench):
+    result = repro.run(system, bench, "tiny")
+    return {
+        "accel_cycles": result.accel_cycles,
+        "energy_pj": round(result.energy.total_pj, 3),
+        "l1x_misses": result.stat("l1x.misses"),
+        "ax_tlb_lookups": result.ax_tlb_lookups,
+    }
+
+
+def regenerate():
+    golden = {}
+    for bench in repro.BENCHMARKS:
+        for system in SYSTEMS:
+            golden["{}:{}".format(system, bench)] = current(system, bench)
+    with open(GOLDEN_PATH, "w") as fileobj:
+        json.dump(golden, fileobj, indent=1, sort_keys=True)
+
+
+def test_golden_file_is_complete():
+    golden = load_golden()
+    assert len(golden) == len(SYSTEMS) * len(repro.BENCHMARKS)
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("bench", repro.BENCHMARKS)
+def test_results_match_golden(system, bench):
+    golden = load_golden()["{}:{}".format(system, bench)]
+    measured = current(system, bench)
+    assert measured == golden, (
+        "model output drifted from the golden values; if intentional, "
+        "regenerate tests/golden_tiny.json (see module docstring)")

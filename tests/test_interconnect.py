@@ -1,0 +1,85 @@
+"""Links and the NUCA ring (repro.interconnect)."""
+
+import pytest
+
+from repro.common.config import LinkEnergyConfig
+from repro.common.stats import StatsRegistry
+from repro.interconnect.link import Link, tile_links
+from repro.interconnect.ring import NucaRing
+
+
+def make_link(pj=0.5):
+    stats = StatsRegistry()
+    return Link("test", pj, stats), stats
+
+
+def test_msg_accounting():
+    link, stats = make_link(pj=0.5)
+    link.send_msg()
+    assert stats.get("link.test.msgs") == 1
+    assert stats.get("link.test.msg_bytes") == 8
+    assert stats.get("link.test.flits") == 1
+    assert stats.get("link.test.msg_energy_pj") == pytest.approx(4.0)
+
+
+def test_data_accounting():
+    link, stats = make_link(pj=2.0)
+    link.send_data(64)
+    assert stats.get("link.test.data_transfers") == 1
+    assert stats.get("link.test.data_bytes") == 64
+    assert stats.get("link.test.flits") == 8
+    assert stats.get("link.test.data_energy_pj") == pytest.approx(128.0)
+
+
+def test_total_energy_property():
+    link, _ = make_link(pj=1.0)
+    link.send_msg()
+    link.send_data(8)
+    assert link.total_energy_pj == pytest.approx(16.0)
+
+
+def test_tile_links_use_table2_costs():
+    stats = StatsRegistry()
+    axc, host, fwd = tile_links(LinkEnergyConfig(), stats)
+    assert axc.pj_per_byte == pytest.approx(0.4)
+    assert host.pj_per_byte == pytest.approx(6.0)
+    assert fwd.pj_per_byte == pytest.approx(0.1)
+
+
+def make_ring(banks=8):
+    return NucaRing(banks, StatsRegistry())
+
+
+def test_bank_mapping_is_line_interleaved():
+    ring = make_ring()
+    assert ring.bank_of(0) == 0
+    assert ring.bank_of(64) == 1
+    assert ring.bank_of(64 * 8) == 0
+
+
+def test_hops_take_shortest_direction():
+    ring = make_ring(banks=8)
+    assert ring.hops_to(0) == 0
+    assert ring.hops_to(1) == 1
+    assert ring.hops_to(7) == 1   # wrap-around
+    assert ring.hops_to(4) == 4   # farthest
+
+
+def test_average_latency_near_table2():
+    """Table 2 quotes ~20 cycles average for the 8-tile NUCA ring."""
+    assert 16 <= make_ring().average_latency() <= 24
+
+
+def test_traverse_counts_energy_and_hops():
+    ring = make_ring()
+    stats = ring.stats
+    latency = ring.traverse(64)  # bank 1, 1 hop each way
+    assert latency == ring.base_latency + 2 * ring.hop_latency
+    assert stats.get("hops") == 2
+    assert stats.get("energy_pj") > 0
+
+
+def test_local_bank_has_no_hop_energy():
+    ring = make_ring()
+    ring.traverse(0)
+    assert ring.stats.get("energy_pj") == 0

@@ -1,0 +1,182 @@
+"""Functional verification of the benchmark kernels.
+
+The kernels are not just trace generators: they compute real results.
+Each test checks the kernel's output against an independent reference
+(numpy / scipy) or a mathematical property of the algorithm.
+"""
+
+import numpy as np
+import pytest
+import scipy.ndimage
+
+from repro.workloads.registry import build_workload_with_outputs
+
+
+# -- FFT ----------------------------------------------------------------------
+
+def test_fft_matches_numpy_iterated():
+    _, out = build_workload_with_outputs("fft", "tiny")
+    data = np.asarray(out["input_re"]) + 1j * np.asarray(out["input_im"])
+    for _ in range(out["iterations"]):
+        data = np.fft.fft(data)
+    np.testing.assert_allclose(out["re"], data.real, rtol=1e-6, atol=1e-6)
+    np.testing.assert_allclose(out["im"], data.imag, rtol=1e-6, atol=1e-6)
+
+
+def test_fft_rejects_non_power_of_two():
+    from repro.workloads.kernels.fft import build_workload
+    from repro.workloads.registry import _factory
+    with pytest.raises(ValueError):
+        build_workload(_factory, n=100)
+
+
+# -- ADPCM --------------------------------------------------------------------
+
+def test_adpcm_roundtrip_tracks_signal():
+    _, out = build_workload_with_outputs("adpcm", "tiny")
+    original = np.asarray(out["original"], dtype=float)
+    decoded = np.asarray(out["decoded"], dtype=float)
+    # 4-bit ADPCM is lossy but must track the waveform closely.
+    rms_signal = np.sqrt(np.mean(original ** 2))
+    rms_error = np.sqrt(np.mean((original - decoded) ** 2))
+    assert rms_error < 0.25 * rms_signal
+
+
+def test_adpcm_codes_are_4bit():
+    _, out = build_workload_with_outputs("adpcm", "tiny")
+    assert all(0 <= code < 16 for code in out["codes"])
+
+
+def test_adpcm_step_table_is_monotonic():
+    _, out = build_workload_with_outputs("adpcm", "tiny")
+    table = out["step_table"]
+    assert all(a <= b for a, b in zip(table, table[1:]))
+
+
+# -- Filter -------------------------------------------------------------------
+
+def test_median_filter_matches_scipy_interior():
+    _, out = build_workload_with_outputs("filter", "tiny")
+    dim = out["dim"]
+    noisy = np.asarray(out["noisy_input"]).reshape(dim, dim)
+    reference = scipy.ndimage.median_filter(noisy, size=3)
+    ours = np.asarray(out["median"]).reshape(dim, dim)
+    np.testing.assert_array_equal(ours[1:-1, 1:-1],
+                                  reference[1:-1, 1:-1])
+
+
+def test_median_filter_removes_salt_and_pepper():
+    _, out = build_workload_with_outputs("filter", "tiny")
+    dim = out["dim"]
+    noisy = np.asarray(out["noisy_input"]).reshape(dim, dim)[1:-1, 1:-1]
+    med = np.asarray(out["median"]).reshape(dim, dim)[1:-1, 1:-1]
+    extremes = lambda img: np.count_nonzero((img == 0) | (img == 255))
+    assert extremes(med) < extremes(noisy)
+
+
+def test_edge_filter_output_is_binary():
+    _, out = build_workload_with_outputs("filter", "tiny")
+    assert set(out["edge"]) <= {0, 255}
+
+
+# -- Tracking -----------------------------------------------------------------
+
+def _tracking_reference(out):
+    width, height = out["width"], out["height"]
+    blurred = np.asarray(out["blurred"]).reshape(height, width)
+    return width, height, blurred
+
+
+def test_tracking_sobel_matches_blurred_gradient():
+    _, out = build_workload_with_outputs("tracking", "tiny")
+    width, height, blurred = _tracking_reference(out)
+    dx = np.asarray(out["sobel_dx"]).reshape(height, width)
+    expected = blurred[1:-1, 2:] - blurred[1:-1, :-2]
+    np.testing.assert_array_equal(dx[1:-1, 1:-1], expected)
+
+
+def test_tracking_resize_averages_quads():
+    _, out = build_workload_with_outputs("tracking", "tiny")
+    width, height, blurred = _tracking_reference(out)
+    rw, rh = width // 2, height // 2
+    resized = np.asarray(out["resized"]).reshape(rh, rw)
+    quads = (blurred[0::2, 0::2][:rh, :rw]
+             + blurred[0::2, 1::2][:rh, :rw]
+             + blurred[1::2, 0::2][:rh, :rw]
+             + blurred[1::2, 1::2][:rh, :rw]) // 4
+    np.testing.assert_array_equal(resized, quads)
+
+
+def test_tracking_blur_smooths():
+    _, out = build_workload_with_outputs("tracking", "tiny")
+    width, height, blurred = _tracking_reference(out)
+    interior = blurred[1:-1, 1:-1]
+    # A binomial blur of uniform noise shrinks the variance.
+    assert interior.std() < 255 / np.sqrt(12) * 0.9
+
+
+# -- Disparity ----------------------------------------------------------------
+
+def test_disparity_recovers_ground_truth_shift():
+    _, out = build_workload_with_outputs("disparity", "small")
+    width, height = out["width"], out["height"]
+    disp = np.asarray(out["disparity"]).reshape(height, width)
+    # The right image is the left shifted by true_shift; the dominant
+    # recovered disparity (away from borders) must match it.
+    interior = disp[6:-6, 10:-6]
+    values, counts = np.unique(interior, return_counts=True)
+    dominant = values[counts.argmax()]
+    expected = out["true_shift"] * 255 // out["shifts"]
+    assert dominant == expected
+
+
+# -- Histogram ----------------------------------------------------------------
+
+def test_histogram_counts_every_pixel():
+    _, out = build_workload_with_outputs("histogram", "tiny")
+    assert sum(out["hist"]) == out["num_pixels"]
+
+
+def test_equalization_flattens_lightness():
+    _, out = build_workload_with_outputs("histogram", "tiny")
+    light = np.asarray(out["lightness"])
+    # Input lightness was clustered in a narrow band; after
+    # equalisation it must span most of [0, 1].
+    assert light.max() - light.min() > 0.8
+    assert 0.3 < light.mean() < 0.7
+
+
+def test_equalization_lut_is_monotonic():
+    _, out = build_workload_with_outputs("histogram", "tiny")
+    lut = out["lut"]
+    assert all(a <= b for a, b in zip(lut, lut[1:]))
+
+
+def test_hsl_roundtrip_outputs_valid_rgb():
+    _, out = build_workload_with_outputs("histogram", "tiny")
+    for channel in ("r", "g", "b"):
+        values = out[channel]
+        assert min(values) >= 0 and max(values) <= 255
+
+
+# -- Susan --------------------------------------------------------------------
+
+def test_susan_outputs_are_masks():
+    _, out = build_workload_with_outputs("susan", "tiny")
+    assert set(out["corners"]) <= {0, 255}
+    assert set(out["edges"]) <= {0, 255}
+
+
+def test_susan_smoothing_reduces_variance():
+    _, out = build_workload_with_outputs("susan", "tiny")
+    dim = out["dim"]
+    smooth = np.asarray(out["smoothed"]).reshape(dim, dim)
+    interior = smooth[2:-2, 2:-2]
+    assert interior.std() < 255 / np.sqrt(12)
+
+
+def test_susan_corners_rarer_than_edges():
+    _, out = build_workload_with_outputs("susan", "small")
+    corners = sum(1 for v in out["corners"] if v)
+    edges = sum(1 for v in out["edges"] if v)
+    assert corners <= edges

@@ -1,0 +1,160 @@
+"""Host directory-MESI engine (repro.coherence.mesi)."""
+
+import pytest
+
+from repro.coherence.directory import HOST, TILE
+
+from conftest import RecordingTileAgent, make_mem_system
+
+L2_SET_STRIDE = 64 * 4096  # same-L2-set stride for the 4 MB 16-way LLC
+
+
+def test_host_load_miss_then_hit():
+    mem, stats = make_mem_system()
+    mem.host_load(0x40)
+    assert stats.get("host_l1.misses") == 1
+    assert stats.get("dram.accesses") == 1  # cold L2 miss
+    mem.host_load(0x40)
+    assert stats.get("host_l1.hits") == 1
+    assert stats.get("dram.accesses") == 1  # no new DRAM traffic
+
+
+def test_host_store_sets_dirty_and_ownership():
+    mem, _ = make_mem_system()
+    mem.host_store(0x40)
+    line = mem.l1.lookup(0x40, touch=False)
+    assert line.dirty
+    assert line.state == "M"
+    assert mem.directory.entry(0x40).owner == HOST
+
+
+def test_host_store_hit_after_load_upgrades():
+    mem, stats = make_mem_system()
+    mem.host_load(0x40)
+    mem.host_store(0x40)
+    assert mem.directory.entry(0x40).cached_by(HOST)
+    line = mem.l1.lookup(0x40, touch=False)
+    assert line.dirty and line.state == "M"
+
+
+def test_fetch_for_tile_grants_exclusive():
+    mem, stats = make_mem_system()
+    mem.fetch_for_tile(0x40)
+    entry = mem.directory.entry(0x40)
+    assert entry.owner == TILE
+    assert stats.get("link.l1x_l2.data_transfers") == 1
+
+
+def test_fetch_for_tile_pulls_dirty_host_copy():
+    mem, stats = make_mem_system()
+    mem.host_store(0x40)
+    mem.fetch_for_tile(0x40)
+    # Exclusivity between host tile and accelerator tile (Section 3.2).
+    assert mem.l1.lookup(0x40, touch=False) is None
+    assert stats.get("mesi.host_invalidations_for_tile") == 1
+    l2_line = mem.l2.lookup(0x40, touch=False)
+    assert l2_line.dirty  # host's data landed in the L2
+
+
+def test_tile_writeback_dirty_updates_l2():
+    mem, stats = make_mem_system()
+    mem.fetch_for_tile(0x40)
+    mem.tile_writeback(0x40, dirty=True)
+    assert mem.directory.entry(0x40).is_idle
+    assert mem.l2.lookup(0x40, touch=False).dirty
+    assert stats.get("mesi.recv.putx") == 1
+
+
+def test_tile_writeback_clean_is_control_only():
+    mem, stats = make_mem_system()
+    mem.fetch_for_tile(0x40)
+    before = stats.get("link.l1x_l2.data_transfers")
+    mem.tile_writeback(0x40, dirty=False)
+    assert stats.get("mesi.recv.puts") == 1
+    assert stats.get("link.l1x_l2.data_transfers") == before
+
+
+def test_host_load_forwards_to_owning_tile():
+    mem, stats = make_mem_system()
+    agent = RecordingTileAgent(dirty=True)
+    mem.tile_agent = agent
+    mem.fetch_for_tile(0x40)
+    mem.host_load(0x40)
+    assert len(agent.requests) == 1
+    pblock, _, is_store = agent.requests[0]
+    assert pblock == 0x40
+    assert not is_store
+    assert stats.get("mesi.sent.fwd_gets") == 1
+    # Tile gave the line up; host now shares it.
+    assert not mem.directory.entry(0x40).cached_by(TILE)
+    assert mem.directory.entry(0x40).cached_by(HOST)
+
+
+def test_host_store_forwards_getx():
+    mem, stats = make_mem_system()
+    agent = RecordingTileAgent(dirty=False)
+    mem.tile_agent = agent
+    mem.fetch_for_tile(0x40)
+    mem.host_store(0x40)
+    assert agent.requests[0][2] is True
+    assert stats.get("mesi.sent.fwd_getx") == 1
+    assert mem.directory.entry(0x40).owner == HOST
+
+
+def test_forward_stall_propagates_to_latency():
+    mem, _ = make_mem_system()
+    mem.tile_agent = RecordingTileAgent(dirty=False, stall=500)
+    mem.fetch_for_tile(0x40)
+    latency = mem.host_load(0x40, now=0)
+    assert latency >= 500
+
+
+def test_dma_read_downgrades_dirty_host_copy():
+    mem, stats = make_mem_system()
+    mem.host_store(0x40)
+    mem.dma_read(0x40)
+    line = mem.l1.lookup(0x40, touch=False)
+    assert line is not None and not line.dirty and line.state == "S"
+    assert stats.get("mesi.dma_host_writebacks") == 1
+    # DMA is not a caching agent: directory still names only the host.
+    assert not mem.directory.entry(0x40).cached_by(TILE)
+
+
+def test_dma_write_invalidates_host_copy():
+    mem, stats = make_mem_system()
+    mem.host_load(0x40)
+    mem.dma_write(0x40)
+    assert mem.l1.lookup(0x40, touch=False) is None
+    assert stats.get("mesi.dma_host_invalidations") == 1
+    assert mem.l2.lookup(0x40, touch=False).dirty
+
+
+def test_inclusion_recall_on_l2_eviction():
+    mem, stats = make_mem_system()
+    agent = RecordingTileAgent(dirty=True)
+    mem.tile_agent = agent
+    mem.fetch_for_tile(0x40)  # tile owns block in L2 set 1
+    # Fill the same L2 set with host loads until the tile's line evicts.
+    for i in range(1, 20):
+        mem.host_load(0x40 + i * L2_SET_STRIDE)
+    assert stats.get("mesi.sent.recall") >= 1
+    assert len(agent.requests) >= 1
+    assert not mem.l2.contains(0x40)
+    assert mem.directory.lookup(0x40) is None
+
+
+def test_l2_dirty_eviction_writes_dram():
+    mem, stats = make_mem_system()
+    mem.dma_write(0x40)  # dirty line in L2, no sharers
+    for i in range(1, 20):
+        mem.host_load(0x40 + i * L2_SET_STRIDE)
+    assert stats.get("l2.dirty_evictions") >= 1
+    assert stats.get("dram.writes") >= 1
+
+
+def test_host_dirty_eviction_reaches_l2():
+    mem, stats = make_mem_system()
+    l1_stride = 64 * 256  # same host-L1 set (64 kB, 4-way)
+    for i in range(6):
+        mem.host_store(0x40 + i * l1_stride)
+    assert stats.get("host_l1.dirty_evictions") >= 1

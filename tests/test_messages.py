@@ -1,0 +1,50 @@
+"""Coherence message vocabulary (repro.coherence.messages)."""
+
+from repro.common.stats import StatsRegistry
+from repro.coherence.messages import DATA_MESSAGES, MSG_SIZE, Msg, is_data, \
+    send, size_of
+from repro.interconnect.link import Link
+
+
+def test_every_message_has_a_size():
+    for msg in Msg:
+        assert size_of(msg) > 0
+
+
+def test_control_messages_are_single_flit():
+    for msg in Msg:
+        if not is_data(msg):
+            assert size_of(msg) == 8, msg
+
+
+def test_data_messages_carry_payloads():
+    assert size_of(Msg.DATA_LINE) == 64
+    assert size_of(Msg.WB_DATA) == 64
+    assert size_of(Msg.WT_DATA) == 8
+    assert size_of(Msg.PUTX) == 72  # notice + line
+
+
+def test_putx_is_data_puts_is_control():
+    assert is_data(Msg.PUTX)
+    assert not is_data(Msg.PUTS)
+
+
+def test_data_messages_set_is_consistent():
+    for msg in DATA_MESSAGES:
+        assert is_data(msg)
+
+
+def test_send_routes_to_msg_or_data():
+    stats = StatsRegistry()
+    link = Link("l", 1.0, stats)
+    send(link, Msg.GETS)
+    send(link, Msg.DATA_LINE)
+    assert stats.get("link.l.msgs") == 1
+    assert stats.get("link.l.data_transfers") == 1
+
+
+def test_send_records_named_counter():
+    stats = StatsRegistry()
+    link = Link("l", 1.0, stats)
+    send(link, Msg.FWD_GETS, stats, "mesi.sent")
+    assert stats.get("mesi.sent.fwd_gets") == 1

@@ -1,0 +1,52 @@
+"""MSHR file (repro.mem.mshr)."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.mem.mshr import MshrFile
+
+
+def test_allocate_and_outstanding():
+    mshr = MshrFile(num_entries=2)
+    mshr.allocate(0x40, complete_at=100)
+    assert mshr.outstanding(0x40) == 100
+    assert mshr.outstanding(0x80) is None
+
+
+def test_full_raises():
+    mshr = MshrFile(num_entries=1)
+    mshr.allocate(0, 10)
+    assert mshr.full
+    with pytest.raises(SimulationError):
+        mshr.allocate(64, 10)
+
+
+def test_duplicate_primary_raises():
+    mshr = MshrFile(num_entries=4)
+    mshr.allocate(0, 10)
+    with pytest.raises(SimulationError):
+        mshr.allocate(0, 20)
+
+
+def test_release_completed():
+    mshr = MshrFile(num_entries=4)
+    mshr.allocate(0, 10)
+    mshr.allocate(64, 20)
+    done = mshr.release_completed(now=15)
+    assert done == [0]
+    assert mshr.occupancy == 1
+
+
+def test_earliest_completion():
+    mshr = MshrFile()
+    assert mshr.earliest_completion() is None
+    mshr.allocate(0, 30)
+    mshr.allocate(64, 10)
+    assert mshr.earliest_completion() == 10
+
+
+def test_clear():
+    mshr = MshrFile()
+    mshr.allocate(0, 10)
+    mshr.clear()
+    assert mshr.occupancy == 0

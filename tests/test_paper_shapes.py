@@ -1,0 +1,123 @@
+"""Paper-shape regression tests.
+
+These lock in the *qualitative* results of the evaluation at the
+``small`` workload size (fast enough for CI): who wins, and on which
+side of 1.0 each ratio falls.  The ``full``-size magnitudes live in the
+benchmark harness and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.common.config import WritePolicy, large_config, small_config
+from repro.sim.simulator import run
+
+
+def cycles(system, benchmark, size="small", config=None):
+    return run(system, benchmark, size, config).accel_cycles
+
+
+def energy(system, benchmark, size="small", config=None):
+    return run(system, benchmark, size, config).energy.total_pj
+
+
+# -- Lesson 1/2: performance --------------------------------------------------
+
+def test_fusion_beats_scratch_on_dma_bound_fft():
+    assert cycles("FUSION", "fft") < cycles("SCRATCH", "fft")
+
+
+def test_shared_beats_scratch_on_dma_bound_fft():
+    assert cycles("SHARED", "fft") < cycles("SCRATCH", "fft")
+
+
+@pytest.mark.parametrize("bench", ["adpcm", "susan", "filter"])
+def test_shared_slower_than_scratch_on_small_wset(bench):
+    """Lesson 1: the shared L1X penalty hurts when the scratchpad
+    already captures the locality."""
+    assert cycles("SHARED", bench) > cycles("SCRATCH", bench)
+
+
+@pytest.mark.parametrize("bench", ["fft", "adpcm", "susan", "filter",
+                                       "tracking", "histogram",
+                                       "disparity"])
+def test_fusion_never_slower_than_shared(bench):
+    """Lesson 2: the L0X recovers the SHARED system's degradation."""
+    assert cycles("FUSION", bench) <= cycles("SHARED", bench) * 1.02
+
+
+# -- Lesson 3: energy ----------------------------------------------------------
+
+def test_fusion_saves_energy_on_fft():
+    assert energy("FUSION", "fft") < 0.5 * energy("SCRATCH", "fft")
+
+
+def test_fusion_cheaper_than_shared_on_small_wset():
+    for benchmark in ("adpcm", "susan", "filter"):
+        assert energy("FUSION", benchmark) < energy("SHARED", benchmark)
+
+
+def test_fusion_l0x_cuts_tile_link_energy_vs_shared():
+    """Lesson 4: the L0X filters the request messages SHARED pays for."""
+    for benchmark in ("fft", "adpcm"):
+        shared = run("SHARED", benchmark, "small")
+        fusion = run("FUSION", benchmark, "small")
+        assert fusion.axc_link_msgs < 0.2 * shared.axc_link_msgs
+
+
+# -- Lesson 5: write policy ------------------------------------------------------
+
+@pytest.mark.parametrize("bench", ["adpcm", "histogram", "tracking"])
+def test_write_through_costs_more_flits(bench):
+    wb_config = small_config()
+    wt_config = wb_config.with_l0x_write_policy(WritePolicy.WRITE_THROUGH)
+    wb = run("FUSION", bench, "small", wb_config)
+    wt = run("FUSION", bench, "small", wt_config)
+    assert wt.write_flits > wb.write_flits
+
+
+# -- Lesson 6: forwarding ---------------------------------------------------------
+
+def test_fusion_dx_saves_tile_energy_on_fft():
+    base = run("FUSION", "fft", "small")
+    dx = run("FUSION-Dx", "fft", "small")
+
+    def tile_link(result):
+        return (result.energy["link_axc_l1x_msg"]
+                + result.energy["link_axc_l1x_data"]
+                + result.energy["link_fwd"])
+
+    assert dx.forwarded_lines > 0
+    assert tile_link(dx) < tile_link(base)
+
+
+# -- Lesson 7: larger caches ---------------------------------------------------------
+
+def test_larger_caches_hurt_small_wset_energy():
+    for benchmark in ("adpcm", "susan", "filter"):
+        small_energy = energy("FUSION", benchmark, config=small_config())
+        large_energy = energy("FUSION", benchmark, config=large_config())
+        assert large_energy > small_energy
+
+
+# -- Lesson 8: address translation -----------------------------------------------------
+
+def test_translation_energy_below_one_percent():
+    for benchmark in ("fft", "adpcm", "histogram"):
+        result = run("FUSION", benchmark, "small")
+        assert result.energy["xlat"] < 0.01 * result.energy.total_pj
+
+
+def test_rmap_lookups_rarer_than_tlb_lookups():
+    for benchmark in ("fft", "histogram"):
+        result = run("FUSION", benchmark, "small")
+        assert result.ax_rmap_lookups < result.ax_tlb_lookups * 2
+
+
+# -- DMA pathology (Figure 6d) -----------------------------------------------------------
+
+def test_dma_traffic_exceeds_working_set_on_fft():
+    from repro.workloads.characterize import working_set_kb
+    from repro.workloads.registry import build_workload
+    result = run("SCRATCH", "fft", "small")
+    wset = working_set_kb(build_workload("fft", "small"))
+    assert result.dma_kb > 5 * wset

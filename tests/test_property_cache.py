@@ -1,0 +1,87 @@
+"""Property-based tests: the cache against a reference LRU model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig
+from repro.mem.cache import SetAssocCache
+
+CONFIG = CacheConfig(size_bytes=512, ways=2)  # 4 sets, 8 lines
+BLOCKS = st.integers(min_value=0, max_value=31).map(lambda i: i * 64)
+
+
+class ReferenceLru:
+    """Dict-of-lists reference model of a set-associative LRU cache."""
+
+    def __init__(self, config):
+        self.config = config
+        self.sets = [[] for _ in range(config.num_sets)]
+
+    def _set(self, block):
+        return self.sets[self.config.set_index(block)]
+
+    def touch(self, block):
+        cache_set = self._set(block)
+        if block in cache_set:
+            cache_set.remove(block)
+            cache_set.append(block)
+            return True
+        return False
+
+    def insert(self, block):
+        cache_set = self._set(block)
+        victim = cache_set.pop(0) if len(cache_set) >= self.config.ways \
+            else None
+        cache_set.append(block)
+        return victim
+
+    def blocks(self):
+        return sorted(b for s in self.sets for b in s)
+
+
+@given(st.lists(BLOCKS, max_size=200))
+@settings(max_examples=200)
+def test_cache_matches_reference_lru(accesses):
+    cache = SetAssocCache(CONFIG)
+    reference = ReferenceLru(CONFIG)
+    for block in accesses:
+        hit = cache.lookup(block) is not None
+        ref_hit = reference.touch(block)
+        assert hit == ref_hit
+        if not hit:
+            victim = cache.insert(block)
+            ref_victim = reference.insert(block)
+            assert (victim.block if victim else None) == ref_victim
+    assert sorted(cache.resident_blocks()) == reference.blocks()
+
+
+@given(st.lists(BLOCKS, max_size=100))
+@settings(max_examples=100)
+def test_occupancy_bounded_by_capacity(accesses):
+    cache = SetAssocCache(CONFIG)
+    for block in accesses:
+        if not cache.contains(block):
+            cache.insert(block)
+        assert cache.occupancy <= CONFIG.num_lines
+        # Per-set bound as well.
+        for cache_set in cache._sets:
+            assert len(cache_set) <= CONFIG.ways
+
+
+@given(st.lists(st.tuples(BLOCKS, st.booleans()), max_size=100))
+@settings(max_examples=100)
+def test_dirty_lines_are_exactly_the_stored_ones(ops):
+    cache = SetAssocCache(CONFIG)
+    dirty = set()
+    for block, is_store in ops:
+        line = cache.lookup(block)
+        if line is None:
+            victim = cache.insert(block, dirty=is_store)
+            if victim is not None:
+                dirty.discard(victim.block)
+        elif is_store:
+            line.dirty = True
+        if is_store:
+            dirty.add(block)
+    assert {line.block for line in cache.dirty_lines()} == \
+        {b for b in dirty if cache.contains(b)}

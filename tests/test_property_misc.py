@@ -1,0 +1,120 @@
+"""Property-based tests: stats registry, DDG, allocator, MESI directory."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.ddg import analyze, build_ddg
+from repro.common.stats import StatsRegistry
+from repro.common.types import AccessType, ComputeOp, FunctionTrace, MemOp
+from repro.workloads.builder import AddressSpace
+
+names = st.text(alphabet="abc.", min_size=1, max_size=8)
+amounts = st.integers(min_value=-1000, max_value=1000)
+
+
+@given(st.lists(st.tuples(names, amounts), max_size=60))
+@settings(max_examples=100)
+def test_stats_diff_of_snapshot_reconstructs_changes(entries):
+    stats = StatsRegistry()
+    mid = len(entries) // 2
+    for name, amount in entries[:mid]:
+        stats.add(name, amount)
+    snapshot = stats.snapshot()
+    expected = {}
+    for name, amount in entries[mid:]:
+        stats.add(name, amount)
+        expected[name] = expected.get(name, 0) + amount
+    delta = stats.diff(snapshot)
+    for name, amount in expected.items():
+        assert delta.get(name, 0) == amount
+
+
+@given(st.lists(st.tuples(names, amounts), max_size=40),
+       st.lists(st.tuples(names, amounts), max_size=40))
+@settings(max_examples=100)
+def test_stats_merge_is_addition(left, right):
+    a = StatsRegistry()
+    b = StatsRegistry()
+    for name, amount in left:
+        a.add(name, amount)
+    for name, amount in right:
+        b.add(name, amount)
+    merged = StatsRegistry()
+    merged.merge(a)
+    merged.merge(b)
+    for name in set(merged.names()):
+        assert merged.get(name) == a.get(name) + b.get(name)
+
+
+mem_op = st.builds(MemOp,
+                   kind=st.sampled_from(list(AccessType)),
+                   addr=st.integers(0, 4096))
+ops = st.lists(st.one_of(
+    mem_op, st.builds(ComputeOp, int_ops=st.integers(0, 9),
+                      fp_ops=st.integers(0, 9))), max_size=80)
+
+
+@given(ops)
+@settings(max_examples=100)
+def test_ddg_levels_respect_dependencies(trace_ops):
+    nodes = build_ddg(FunctionTrace(name="f", benchmark="b",
+                                    ops=trace_ops))
+    for node in nodes:
+        for dep in node.deps:
+            assert node.level > dep.level
+            assert dep.index < node.index
+
+
+@given(ops)
+@settings(max_examples=100)
+def test_ddg_mix_always_sums_to_100_or_zero(trace_ops):
+    metrics = analyze(FunctionTrace(name="f", benchmark="b",
+                                    ops=trace_ops))
+    total = sum(metrics.mix_percent())
+    assert total == 0.0 or abs(total - 100.0) < 1e-9
+    assert metrics.mlp >= 0.0
+    assert 1.0 <= metrics.pipe_mlp <= 8.0
+
+
+@given(st.lists(st.tuples(st.integers(1, 500), st.integers(1, 8)),
+                min_size=1, max_size=20))
+@settings(max_examples=100)
+def test_allocator_ranges_never_overlap(allocations):
+    space = AddressSpace()
+    arrays = []
+    for index, (length, elem_size) in enumerate(allocations):
+        arrays.append(space.alloc("a{}".format(index), length, elem_size))
+    spans = sorted((a.base, a.base + a.size_bytes) for a in arrays)
+    for (_, end), (start, _) in zip(spans, spans[1:]):
+        assert end <= start
+    for array in arrays:
+        assert array.base % 64 == 0  # line aligned
+
+
+@given(st.lists(st.tuples(st.sampled_from(["host", "tile"]),
+                          st.booleans(),
+                          st.integers(0, 15).map(lambda i: i * 64)),
+                max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_mesi_directory_owner_is_exclusive(accesses):
+    from conftest import RecordingTileAgent, make_mem_system
+    mem, _ = make_mem_system()
+    mem.tile_agent = RecordingTileAgent()
+    for agent, is_store, block in accesses:
+        if agent == "host":
+            if is_store:
+                mem.host_store(block)
+            else:
+                mem.host_load(block)
+        else:
+            if not mem.directory.entry(block).cached_by("tile"):
+                mem.fetch_for_tile(block)
+            elif is_store:
+                mem.tile_writeback(block, dirty=True)
+        entry = mem.directory.lookup(block)
+        if entry is not None and entry.owner is not None:
+            others = (entry.sharers - {entry.owner})
+            assert not others, "owner must be the only sharer"
+        # The host L1 copy is always tracked by the directory.
+        if mem.l1.contains(block):
+            assert entry is not None and entry.cached_by("host")

@@ -1,0 +1,63 @@
+"""Property-based tests: oracle DMA window partitioning."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import AccessType, ComputeOp, FunctionTrace, MemOp
+from repro.host.dma import partition_windows
+
+mem_op = st.builds(
+    MemOp,
+    kind=st.sampled_from([AccessType.LOAD, AccessType.STORE]),
+    addr=st.integers(min_value=0, max_value=64 * 63),
+)
+trace_ops = st.lists(
+    st.one_of(mem_op, st.builds(ComputeOp, int_ops=st.integers(1, 5))),
+    max_size=150)
+capacities = st.integers(min_value=1, max_value=8)
+
+
+def make_trace(ops):
+    return FunctionTrace(name="f", benchmark="b", ops=ops)
+
+
+@given(trace_ops, capacities)
+@settings(max_examples=200)
+def test_windows_preserve_all_ops_in_order(ops, capacity):
+    windows = partition_windows(make_trace(ops), capacity)
+    assert [op for w in windows for op in w.ops] == ops
+
+
+@given(trace_ops, capacities)
+@settings(max_examples=200)
+def test_windows_respect_capacity(ops, capacity):
+    for window in partition_windows(make_trace(ops), capacity):
+        assert len(window.blocks) <= capacity
+
+
+@given(trace_ops, capacities)
+@settings(max_examples=200)
+def test_in_blocks_are_read_first_blocks(ops, capacity):
+    for window in partition_windows(make_trace(ops), capacity):
+        first = {}
+        stored = set()
+        for op in window.ops:
+            if isinstance(op, MemOp):
+                first.setdefault(op.block, op.kind)
+                if op.is_store:
+                    stored.add(op.block)
+        expected_in = sorted(b for b, k in first.items()
+                             if k is AccessType.LOAD)
+        assert window.in_blocks == expected_in
+        assert window.out_blocks == sorted(stored)
+
+
+@given(trace_ops, capacities)
+@settings(max_examples=200)
+def test_every_staged_block_is_used(ops, capacity):
+    for window in partition_windows(make_trace(ops), capacity):
+        touched = {op.block for op in window.ops
+                   if isinstance(op, MemOp)}
+        assert set(window.in_blocks) <= touched
+        assert set(window.out_blocks) <= touched
+        assert window.blocks == touched

@@ -1,0 +1,78 @@
+"""Benchmark registry (repro.workloads.registry)."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.common.units import KB, LINE_SIZE
+from repro.workloads.characterize import working_set_kb
+from repro.workloads.registry import BENCHMARKS, LABELS, build_workload, \
+    build_workload_with_outputs
+
+
+def test_seven_benchmarks_in_paper_order():
+    assert BENCHMARKS == ("fft", "disparity", "tracking", "adpcm",
+                          "susan", "filter", "histogram")
+
+
+def test_every_benchmark_has_a_label():
+    assert set(LABELS) == set(BENCHMARKS)
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(TraceError):
+        build_workload("quicksort")
+
+
+def test_unknown_size_rejected():
+    with pytest.raises(TraceError):
+        build_workload("fft", "huge")
+
+
+def test_workloads_are_cached():
+    assert build_workload("adpcm", "tiny") is build_workload("adpcm",
+                                                             "tiny")
+
+
+def test_sizes_are_ordered(any_tiny_workload):
+    name = any_tiny_workload.benchmark
+    tiny = len(build_workload(name, "tiny").working_set_blocks())
+    small = len(build_workload(name, "small").working_set_blocks())
+    assert tiny <= small
+
+
+def test_workload_metadata_complete(any_tiny_workload):
+    workload = any_tiny_workload
+    assert workload.invocations
+    assert workload.host_input_arrays
+    assert workload.host_output_arrays
+    assert workload.array_ranges
+    assert 2 <= workload.num_axcs <= 6  # Table 2: 2 (FILT) - 6 (FFT)
+
+
+def test_axc_counts_match_table2():
+    assert build_workload("fft", "tiny").num_axcs == 6
+    assert build_workload("filter", "tiny").num_axcs == 2
+
+
+@pytest.mark.slow
+def test_full_working_sets_match_paper_relations():
+    """The capacity relationships the paper's results depend on."""
+    wset = {name: working_set_kb(build_workload(name, "full"))
+            for name in BENCHMARKS}
+    # ADPCM, SUSAN, FILT: under 30 kB (Section 5.1).
+    for name in ("adpcm", "susan", "filter"):
+        assert wset[name] < 30, name
+    # Everything the scratchpad can't hold.
+    for name in BENCHMARKS:
+        assert wset[name] * KB > 4 * KB
+    # DISP overflows the 64 kB L1X but fits the 256 kB one (Fig 7).
+    assert 64 < wset["disparity"] < 256
+    # TRACK and HIST overflow both L1X sizes.
+    assert wset["tracking"] > 256
+    assert wset["histogram"] > 1024
+
+
+def test_outputs_and_workload_share_cache():
+    workload, outputs = build_workload_with_outputs("adpcm", "tiny")
+    assert workload is build_workload("adpcm", "tiny")
+    assert outputs

@@ -1,0 +1,53 @@
+"""AX-RMAP reverse map (repro.mem.rmap)."""
+
+from repro.common.stats import StatsRegistry
+from repro.mem.rmap import AxRmap
+
+
+def make_rmap():
+    stats = StatsRegistry()
+    return AxRmap(stats), stats
+
+
+def test_record_and_lookup():
+    rmap, stats = make_rmap()
+    rmap.record_fill(0x100000, 0x40)
+    assert rmap.lookup(0x100000) == 0x40
+    assert stats.get("ax_rmap.lookups") == 1
+
+
+def test_lookup_missing_returns_none_but_counts():
+    rmap, stats = make_rmap()
+    assert rmap.lookup(0x200000) is None
+    assert stats.get("ax_rmap.lookups") == 1
+
+
+def test_record_fill_is_block_aligned():
+    rmap, _ = make_rmap()
+    rmap.record_fill(0x100020, 0x44)
+    assert rmap.lookup(0x100000) == 0x40
+
+
+def test_synonym_detection_returns_duplicate():
+    rmap, stats = make_rmap()
+    assert rmap.record_fill(0x100000, 0x40) is None
+    duplicate = rmap.record_fill(0x100000, 0x80)
+    assert duplicate == 0x40
+    assert stats.get("ax_rmap.synonym_evictions") == 1
+    # Only the new synonym remains mapped.
+    assert rmap.lookup(0x100000) == 0x80
+
+
+def test_same_mapping_is_not_a_synonym():
+    rmap, stats = make_rmap()
+    rmap.record_fill(0x100000, 0x40)
+    assert rmap.record_fill(0x100000, 0x40) is None
+    assert stats.get("ax_rmap.synonym_evictions") == 0
+
+
+def test_remove():
+    rmap, _ = make_rmap()
+    rmap.record_fill(0x100000, 0x40)
+    rmap.remove(0x100000)
+    assert rmap.lookup(0x100000) is None
+    assert rmap.occupancy == 0

@@ -1,0 +1,65 @@
+"""Scratchpad model (repro.mem.scratchpad)."""
+
+import pytest
+
+from repro.common.config import ScratchpadConfig
+from repro.common.errors import SimulationError
+from repro.mem.scratchpad import Scratchpad
+
+
+def make_sp(size=256):
+    return Scratchpad(ScratchpadConfig(size_bytes=size))
+
+
+def test_fill_and_contains():
+    sp = make_sp()
+    sp.fill(0x40)
+    assert sp.contains(0x40)
+    assert sp.contains(0x7F)  # same block
+    assert not sp.contains(0x80)
+
+
+def test_fill_is_idempotent():
+    sp = make_sp()
+    sp.fill(0)
+    sp.fill(0)
+    assert sp.occupancy == 1
+
+
+def test_overflow_raises():
+    sp = make_sp(size=128)  # 2 blocks
+    sp.fill(0)
+    sp.fill(64)
+    with pytest.raises(SimulationError):
+        sp.fill(128)
+
+
+def test_access_nonresident_raises():
+    sp = make_sp()
+    with pytest.raises(SimulationError):
+        sp.access(0x40, is_store=False)
+
+
+def test_store_marks_dirty():
+    sp = make_sp()
+    sp.fill(0)
+    sp.fill(64)
+    sp.access(0, is_store=False)
+    sp.access(64, is_store=True)
+    assert sp.dirty_blocks() == [64]
+
+
+def test_drain_returns_dirty_and_empties():
+    sp = make_sp()
+    sp.fill(0)
+    sp.access(0, is_store=True)
+    assert sp.drain() == [0]
+    assert sp.occupancy == 0
+    assert sp.dirty_blocks() == []
+
+
+def test_free_blocks_accounting():
+    sp = make_sp(size=256)
+    assert sp.free_blocks == 4
+    sp.fill(0)
+    assert sp.free_blocks == 3

@@ -1,0 +1,107 @@
+"""The SHARED baseline's L1X controller (repro.coherence.shared_l1)."""
+
+from repro.common.config import small_config
+from repro.common.stats import StatsRegistry
+from repro.common.types import AccessType, MemOp
+from repro.coherence.mesi import HostMemorySystem
+from repro.coherence.shared_l1 import SharedL1XController
+from repro.interconnect.link import Link
+from repro.mem.tlb import PageTable
+
+
+def make_shared():
+    config = small_config()
+    stats = StatsRegistry()
+    mem = HostMemorySystem(config, stats)
+    page_table = PageTable()
+    l1x = SharedL1XController(config, mem, page_table, stats)
+    l1x.axc_link = Link("axc_l1x", 0.4, stats)
+    mem.tile_agent = l1x
+    return l1x, mem, stats
+
+
+def load(addr):
+    return MemOp(AccessType.LOAD, addr)
+
+
+def store(addr):
+    return MemOp(AccessType.STORE, addr)
+
+
+def test_every_access_crosses_the_switch():
+    l1x, _, stats = make_shared()
+    l1x.access(load(0x40), now=0)
+    l1x.access(load(0x44), now=10)
+    # One request message and one word response per access (Figure 6c).
+    assert stats.get("link.axc_l1x.msgs") == 2
+    assert stats.get("link.axc_l1x.data_transfers") == 2
+
+
+def test_miss_then_hit_counters():
+    l1x, _, stats = make_shared()
+    l1x.access(load(0x40), now=0)
+    l1x.access(load(0x44), now=10)
+    assert stats.get("l1x.misses") == 1
+    assert stats.get("l1x.hits") == 1
+
+
+def test_hit_is_cheaper_than_miss():
+    l1x, _, _ = make_shared()
+    miss = l1x.access(load(0x40), now=0)
+    hit = l1x.access(load(0x40), now=10)
+    assert hit < miss
+
+
+def test_store_marks_modified():
+    l1x, _, stats = make_shared()
+    l1x.access(store(0x40), now=0)
+    pblock = l1x.cache.resident_blocks()[0]
+    line = l1x.cache.lookup(pblock, touch=False)
+    assert line.dirty and line.state == "M"
+    assert stats.get("l1x.store_data.wt_data") == 1
+
+
+def test_dirty_eviction_writes_back_to_host():
+    l1x, mem, stats = make_shared()
+    stride = 64 * 128  # same L1X set (64 kB, 8-way)
+    for i in range(9):
+        l1x.access(store(0x40 + i * stride), now=i)
+    assert stats.get("l1x.evictions") == 1
+    assert stats.get("mesi.recv.putx") == 1
+
+
+def test_forwarded_request_probes_directly():
+    l1x, mem, stats = make_shared()
+    l1x.access(store(0x40), now=0)
+    pblock = l1x.cache.resident_blocks()[0]
+    stall, dirty = l1x.handle_forwarded_request(pblock, now=5,
+                                                is_store=True)
+    assert stall == 0          # no leases to wait for in SHARED
+    assert dirty
+    assert not l1x.cache.contains(pblock)
+
+
+def test_forwarded_miss_tolerated():
+    l1x, _, stats = make_shared()
+    assert l1x.handle_forwarded_request(0x123000, 0, False) == (0, False)
+    assert stats.get("l1x.fwd_misses") == 1
+
+
+def test_flush_drains_dirty_lines():
+    l1x, mem, stats = make_shared()
+    l1x.access(store(0x40), now=0)
+    l1x.access(store(0x80), now=1)
+    l1x.flush(now=10)
+    assert stats.get("l1x.flush_writebacks") == 2
+    assert not l1x.cache.dirty_lines()
+
+
+def test_host_coherence_roundtrip():
+    """Host writes, AXC reads through SHARED, host reads back."""
+    l1x, mem, stats = make_shared()
+    paddr = l1x.page_table.translate(0x40)
+    mem.host_store(paddr)
+    l1x.access(load(0x40), now=0)
+    assert stats.get("mesi.host_invalidations_for_tile") == 1
+    mem.host_load(paddr, now=100)
+    assert stats.get("mesi.sent.fwd_gets") == 1

@@ -1,0 +1,44 @@
+"""The simulation driver (repro.sim.simulator)."""
+
+import pytest
+
+from repro.common.config import ConfigError, small_config
+from repro.sim.simulator import FIGURE6_SYSTEMS, clear_cache, run, run_all
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(ConfigError, match="unknown system"):
+        run("GPU", "adpcm", "tiny")
+
+
+def test_default_config_is_small():
+    result = run("FUSION", "adpcm", "tiny")
+    assert result.config_name == "small"
+
+
+def test_results_are_memoised():
+    first = run("FUSION", "adpcm", "tiny")
+    second = run("FUSION", "adpcm", "tiny")
+    assert first is second
+
+
+def test_distinct_configs_are_distinct_cache_keys():
+    base = run("FUSION", "adpcm", "tiny", small_config())
+    leased = run("FUSION", "adpcm", "tiny",
+                 small_config().with_lease(123))
+    assert base is not leased
+
+
+def test_clear_cache_forces_rerun():
+    first = run("FUSION", "adpcm", "tiny")
+    clear_cache()
+    second = run("FUSION", "adpcm", "tiny")
+    assert first is not second
+    assert first.accel_cycles == second.accel_cycles  # deterministic
+
+
+def test_run_all_covers_figure6_systems():
+    results = run_all("adpcm", "tiny")
+    assert set(results) == set(FIGURE6_SYSTEMS)
+    for name, result in results.items():
+        assert result.system == name

@@ -1,0 +1,95 @@
+"""Statistics registry (repro.common.stats)."""
+
+from repro.common.stats import StatsRegistry
+
+
+def test_add_and_get():
+    stats = StatsRegistry()
+    stats.add("a.b", 2)
+    stats.add("a.b")
+    assert stats.get("a.b") == 3
+    assert stats.get("missing") == 0
+    assert stats.get("missing", 7) == 7
+
+
+def test_set_overwrites():
+    stats = StatsRegistry()
+    stats.add("gauge", 5)
+    stats.set("gauge", 1)
+    assert stats.get("gauge") == 1
+
+
+def test_scope_prefixes_names():
+    stats = StatsRegistry()
+    scope = stats.scope("l1x")
+    scope.add("hits")
+    assert stats.get("l1x.hits") == 1
+    nested = scope.scope("bank0")
+    nested.add("conflicts", 4)
+    assert stats.get("l1x.bank0.conflicts") == 4
+    assert nested.get("conflicts") == 4
+
+
+def test_snapshot_is_independent_copy():
+    stats = StatsRegistry()
+    stats.add("x", 1)
+    snap = stats.snapshot()
+    stats.add("x", 1)
+    assert snap["x"] == 1
+    assert stats.get("x") == 2
+
+
+def test_diff_reports_only_changes():
+    stats = StatsRegistry()
+    stats.add("a", 1)
+    stats.add("b", 1)
+    snap = stats.snapshot()
+    stats.add("a", 4)
+    stats.add("c", 2)
+    delta = stats.diff(snap)
+    assert delta == {"a": 4, "c": 2}
+
+
+def test_merge_accumulates():
+    a = StatsRegistry()
+    b = StatsRegistry()
+    a.add("x", 1)
+    b.add("x", 2)
+    b.add("y", 3)
+    a.merge(b)
+    assert a.get("x") == 3
+    assert a.get("y") == 3
+    a.merge({"x": 1})
+    assert a.get("x") == 4
+
+
+def test_total_sums_prefix():
+    stats = StatsRegistry()
+    stats.add("link.a.bytes", 10)
+    stats.add("link.b.bytes", 5)
+    stats.add("linkother", 99)
+    assert stats.total("link") == 15
+
+
+def test_subtree_strips_prefix():
+    stats = StatsRegistry()
+    stats.add("l0x.hits", 1)
+    stats.add("l0x.misses", 2)
+    stats.add("l1x.hits", 9)
+    assert stats.subtree("l0x") == {"hits": 1, "misses": 2}
+
+
+def test_names_sorted_and_contains():
+    stats = StatsRegistry()
+    stats.add("b")
+    stats.add("a")
+    assert stats.names() == ["a", "b"]
+    assert "a" in stats
+    assert "z" not in stats
+
+
+def test_clear():
+    stats = StatsRegistry()
+    stats.add("a")
+    stats.clear()
+    assert stats.names() == []

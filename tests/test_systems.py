@@ -1,0 +1,133 @@
+"""Integration: the four system designs end to end (repro.systems)."""
+
+import pytest
+
+from repro.common.config import small_config
+from repro.sim.simulator import run
+from repro.systems import SYSTEMS
+from repro.workloads.registry import BENCHMARKS, build_workload
+
+SYSTEM_NAMES = tuple(SYSTEMS)
+
+
+@pytest.mark.parametrize("system", SYSTEM_NAMES)
+@pytest.mark.parametrize("bench", BENCHMARKS)
+def test_every_system_runs_every_benchmark(system, bench):
+    result = run(system, bench, size="tiny")
+    assert result.accel_cycles > 0
+    assert result.total_cycles >= result.accel_cycles
+    assert result.energy.total_pj > 0
+    assert result.system == system
+    assert result.benchmark == bench
+
+
+@pytest.mark.parametrize("system", SYSTEM_NAMES)
+def test_runs_are_deterministic(system):
+    first = SYSTEMS[system](small_config(),
+                            build_workload("adpcm", "tiny")).run()
+    second = SYSTEMS[system](small_config(),
+                             build_workload("adpcm", "tiny")).run()
+    assert first.accel_cycles == second.accel_cycles
+    assert first.energy.total_pj == pytest.approx(second.energy.total_pj)
+    assert first.stats == second.stats
+
+
+def _fresh(system, benchmark="adpcm", size="tiny"):
+    return SYSTEMS[system](small_config(),
+                           build_workload(benchmark, size)).run()
+
+
+def test_scratch_uses_dma_and_no_tile_links():
+    result = _fresh("SCRATCH")
+    assert result.dma_kb > 0
+    assert result.dma_count > 0
+    assert result.stat("dma.windows") >= 1
+    assert result.axc_link_msgs == 0
+    assert result.stat("scratchpad.accesses") > 0
+
+
+def test_scratch_dma_traffic_at_least_working_set():
+    workload = build_workload("adpcm", "tiny")
+    result = _fresh("SCRATCH")
+    wset_kb = len(workload.working_set_blocks()) * 64 / 1024
+    assert result.dma_kb >= wset_kb * 0.5  # write-first blocks skip DMA-in
+
+
+def test_shared_crosses_switch_for_every_access():
+    result = _fresh("SHARED")
+    mem_ops = sum(v for k, v in result.stats.items()
+                  if k.endswith(".mem_ops"))
+    assert result.axc_link_msgs == mem_ops
+    # Evictions/flushes add a few L1X array reads on top.
+    assert mem_ops <= result.stat("l1x.accesses") <= mem_ops * 1.05
+
+
+def test_fusion_l0x_filters_l1x():
+    result = _fresh("FUSION")
+    l0x_accesses = sum(v for k, v in result.stats.items()
+                       if k.startswith("l0x.axc") and
+                       k.endswith(".accesses"))
+    assert l0x_accesses > 0
+    assert result.stat("l1x.accesses") < l0x_accesses
+
+
+def test_fusion_hit_miss_accounting():
+    result = _fresh("FUSION")
+    for axc in range(build_workload("adpcm", "tiny").num_axcs):
+        prefix = "l0x.axc{}.".format(axc)
+        accesses = result.stat(prefix + "accesses")
+        hits = result.stat(prefix + "hits")
+        misses = result.stat(prefix + "misses")
+        fwd = result.stat(prefix + "forward_hits")
+        assert hits + misses == accesses
+        assert fwd <= hits
+
+
+def test_fusion_translation_hardware_is_exercised():
+    result = _fresh("FUSION")
+    assert result.ax_tlb_lookups >= result.stat("l1x.misses")
+    assert result.ax_rmap_lookups > 0  # host consume pulls outputs
+
+
+def test_fusion_dx_forwards_lines():
+    base = _fresh("FUSION", "fft")
+    dx = _fresh("FUSION-Dx", "fft")
+    assert dx.forwarded_lines > 0
+    assert base.forwarded_lines == 0
+    assert dx.stat("link.fwd.data_transfers") == dx.forwarded_lines
+    # Forwarding removes writebacks relative to plain FUSION.
+    wb = lambda r: sum(v for k, v in r.stats.items()
+                       if k.startswith("l0x.axc") and
+                       k.endswith(".writebacks"))
+    assert wb(dx) < wb(base)
+
+
+def test_per_function_attribution_covers_all_functions():
+    result = _fresh("FUSION")
+    workload = build_workload("adpcm", "tiny")
+    assert set(result.function_names()) == set(workload.function_names())
+    for name in result.function_names():
+        assert result.invocation_cycles(name) > 0
+        assert result.invocation_energy_pj(name) > 0
+
+
+def test_energy_breakdown_excludes_host_produce_phase():
+    result = _fresh("FUSION")
+    # Total L2 energy includes the produce phase; the breakdown must be
+    # strictly smaller.
+    assert result.energy["l2"] < result.stat("l2.energy_pj")
+
+
+def test_protocol_safety_nets_untouched():
+    for system in ("FUSION", "FUSION-Dx"):
+        result = _fresh(system, "fft")
+        assert result.stat("l1x.late_writebacks") == 0
+        assert result.stat("l0x.axc0.unclaimed_forwards", 0) == 0
+
+
+def test_host_coherence_closes_the_loop():
+    result = _fresh("FUSION")
+    # The host consume phase pulls outputs out of the tile via
+    # directory forwards — the Table 6 AX-RMAP traffic.
+    assert result.stat("mesi.fwd_to_tile") > 0
+    assert result.stat("l1x.fwd_evictions") > 0

@@ -1,0 +1,86 @@
+"""Core value types (repro.common.types)."""
+
+import pytest
+
+from repro.common.types import (
+    AccessType,
+    ComputeOp,
+    FunctionTrace,
+    MemOp,
+    WorkloadTrace,
+    block_address,
+    block_offset,
+)
+
+
+def test_block_address_aligns_down():
+    assert block_address(0) == 0
+    assert block_address(63) == 0
+    assert block_address(64) == 64
+    assert block_address(130) == 128
+
+
+def test_block_offset():
+    assert block_offset(130) == 2
+    assert block_offset(64) == 0
+
+
+def test_memop_block_property():
+    op = MemOp(AccessType.LOAD, 0x1234)
+    assert op.block == block_address(0x1234)
+
+
+def test_memop_is_store():
+    assert MemOp(AccessType.STORE, 0).is_store
+    assert not MemOp(AccessType.LOAD, 0).is_store
+    assert AccessType.STORE.is_store
+    assert not AccessType.LOAD.is_store
+
+
+def test_compute_op_total():
+    assert ComputeOp(int_ops=3, fp_ops=4).total == 7
+
+
+def _trace(name, ops):
+    return FunctionTrace(name=name, benchmark="bench", ops=ops)
+
+
+def test_function_trace_mem_ops_filtering():
+    ops = [MemOp(AccessType.LOAD, 0), ComputeOp(int_ops=1),
+           MemOp(AccessType.STORE, 64)]
+    trace = _trace("f", ops)
+    assert trace.num_mem_ops == 2
+    assert len(list(trace.compute_ops())) == 1
+
+
+def test_function_trace_touched_and_dirty_blocks():
+    ops = [MemOp(AccessType.LOAD, 0), MemOp(AccessType.STORE, 64),
+           MemOp(AccessType.STORE, 70)]
+    trace = _trace("f", ops)
+    assert trace.touched_blocks() == {0, 64}
+    assert trace.dirty_blocks() == {64}
+
+
+def test_workload_axc_mapping_is_stable_across_repeats():
+    workload = WorkloadTrace(benchmark="b", invocations=[
+        _trace("a", []), _trace("b", []), _trace("a", []),
+    ])
+    assert workload.function_names() == ["a", "b"]
+    assert workload.axc_of("a") == 0
+    assert workload.axc_of("b") == 1
+    assert workload.num_axcs == 2
+
+
+def test_workload_working_set_union():
+    workload = WorkloadTrace(benchmark="b", invocations=[
+        _trace("a", [MemOp(AccessType.LOAD, 0)]),
+        _trace("b", [MemOp(AccessType.STORE, 0),
+                     MemOp(AccessType.STORE, 128)]),
+    ])
+    assert workload.working_set_blocks() == {0, 128}
+
+
+def test_unknown_function_raises():
+    workload = WorkloadTrace(benchmark="b", invocations=[_trace("a", [])])
+    with pytest.raises(ValueError):
+        workload.axc_of("missing")

@@ -1,0 +1,36 @@
+"""Unit conversions (repro.common.units)."""
+
+import pytest
+
+from repro.common import units
+
+
+def test_flit_rounding_exact():
+    assert units.bytes_to_flits(64) == 8
+
+
+def test_flit_rounding_up():
+    assert units.bytes_to_flits(65) == 9
+    assert units.bytes_to_flits(1) == 1
+
+
+def test_flit_zero():
+    assert units.bytes_to_flits(0) == 0
+
+
+def test_to_kb():
+    assert units.to_kb(2048) == 2.0
+
+
+def test_pj_to_uj():
+    assert units.pj_to_uj(1_000_000) == 1.0
+
+
+def test_cycles_to_us_at_2ghz():
+    assert units.cycles_to_us(2_000_000_000) == pytest.approx(1e6)
+    assert units.cycles_to_us(2000) == pytest.approx(1.0)
+
+
+def test_line_and_flit_sizes_consistent():
+    assert units.LINE_SIZE % units.FLIT_SIZE == 0
+    assert units.CONTROL_MSG_SIZE == units.FLIT_SIZE

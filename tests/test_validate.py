@@ -1,0 +1,61 @@
+"""Post-run validation (repro.sim.validate)."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.simulator import run
+from repro.sim.validate import check_or_raise, validate
+from repro.workloads.registry import BENCHMARKS
+
+
+@pytest.mark.parametrize("system", ["SCRATCH", "SHARED", "FUSION",
+                                    "FUSION-Dx", "IDEAL"])
+@pytest.mark.parametrize("bench", BENCHMARKS)
+def test_every_run_is_internally_consistent(system, bench):
+    result = run(system, bench, "tiny")
+    assert validate(result) == []
+
+
+def test_check_or_raise_passes_through_clean_results():
+    result = run("FUSION", "adpcm", "tiny")
+    assert check_or_raise(result) is result
+
+
+def _corrupt(result, **stat_overrides):
+    stats = dict(result.stats)
+    stats.update(stat_overrides)
+    return dataclasses.replace(result, stats=stats)
+
+
+def test_detects_broken_hit_accounting():
+    result = run("FUSION", "adpcm", "tiny")
+    broken = _corrupt(result, **{"l0x.axc0.hits":
+                                 result.stat("l0x.axc0.hits") + 5})
+    assert any("axc0" in v for v in validate(broken))
+
+
+def test_detects_broken_epoch_accounting():
+    result = run("FUSION", "adpcm", "tiny")
+    broken = _corrupt(result, **{"l1x.read_epochs": 10 ** 9})
+    assert any("epochs" in v for v in validate(broken))
+
+
+def test_detects_broken_dma_bytes():
+    result = run("SCRATCH", "adpcm", "tiny")
+    broken = _corrupt(result, **{"dma.bytes_in": 1})
+    assert any("DMA" in v for v in validate(broken))
+
+
+def test_detects_negative_cycles():
+    result = run("FUSION", "adpcm", "tiny")
+    broken = dataclasses.replace(result, accel_cycles=0)
+    assert any("cycle" in v for v in validate(broken))
+
+
+def test_check_or_raise_raises_on_corruption():
+    result = run("FUSION", "adpcm", "tiny")
+    broken = _corrupt(result, **{"l0x.axc0.hits": 10 ** 9})
+    with pytest.raises(SimulationError):
+        check_or_raise(broken)
