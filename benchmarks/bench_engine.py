@@ -1,0 +1,99 @@
+"""Execution-engine benchmarks: parallel speedup and warm-cache reruns.
+
+Exercises the ISSUE 1 acceptance criteria on the ``fig6a + fig6b +
+headline`` grid (one deduplicated batch of Figure 6 points):
+
+* cold cache, serial vs ``jobs=4`` — the parallel engine should win by
+  >= 2x wall-clock on a machine with >= 4 CPUs;
+* warm cache — a rerun must complete with zero re-simulations and a
+  100 % hit ratio.
+
+Both tests build private engines over throwaway cache directories so
+the session-wide warm-up (``conftest.warm_result_cache``) and the
+user's real ``~/.cache/repro`` stay out of the measurement.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.sim.engine import DiskCache, ExecutionEngine
+from repro.sim.experiments import EXPERIMENT_GRIDS
+from repro.sim.reporting import ExperimentTable
+
+SIZE = os.environ.get("REPRO_BENCH_SIZE", "full")
+
+#: The headline evaluation grid: every Figure 6 / headline point.
+GRID_EXPERIMENTS = ("fig6a", "fig6b", "headline")
+
+
+def _grid(size):
+    requests = []
+    for name in GRID_EXPERIMENTS:
+        requests.extend(EXPERIMENT_GRIDS[name](size))
+    return requests
+
+
+def test_cold_cache_parallel_speedup(tmp_path, report):
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        pytest.skip("needs >= 2 CPUs to demonstrate parallel speedup")
+    grid = _grid(SIZE)
+
+    serial = ExecutionEngine(jobs=1, cache=DiskCache(tmp_path / "serial"))
+    started = time.perf_counter()
+    serial_results = serial.run_batch(grid)
+    serial_s = time.perf_counter() - started
+
+    parallel = ExecutionEngine(jobs=4,
+                               cache=DiskCache(tmp_path / "parallel"))
+    started = time.perf_counter()
+    parallel_results = parallel.run_batch(grid)
+    parallel_s = time.perf_counter() - started
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    table = ExperimentTable(
+        "Engine speedup", "fig6a+fig6b+headline grid, cold cache "
+        "(size={}, {} CPUs)".format(SIZE, cpus),
+        ["Mode", "Points", "Wall(s)", "Speedup"])
+    table.add_row("serial (jobs=1)", len(grid), serial_s, 1.0)
+    table.add_row("parallel (jobs=4)", len(grid), parallel_s, speedup)
+    report(table)
+
+    # Parallel and serial paths must agree exactly (determinism).
+    assert parallel_results == serial_results
+    assert serial.telemetry.computed == parallel.telemetry.computed
+    # Pool overhead swamps sub-second tiny grids; only the paper-sized
+    # evaluation meaningfully demonstrates the 2x criterion.
+    if cpus >= 4 and SIZE == "full":
+        assert speedup >= 2.0
+
+
+def test_warm_cache_rerun_zero_resimulations(tmp_path, benchmark, report):
+    grid = _grid(SIZE)
+    cache_root = tmp_path / "cache"
+
+    cold = ExecutionEngine(cache=DiskCache(cache_root))
+    cold_results = cold.run_batch(grid)
+    unique_points = cold.telemetry.unique
+    assert cold.telemetry.computed == unique_points
+    assert cold.telemetry.hit_ratio() == 0.0
+
+    # Fresh engine, same disk: everything must come back from the cache.
+    warm = ExecutionEngine(cache=DiskCache(cache_root))
+    warm_results = benchmark.pedantic(warm.run_batch, args=(grid,),
+                                      rounds=1, iterations=1)
+    assert warm.telemetry.computed == 0
+    assert warm.telemetry.disk_hits == unique_points
+    assert warm.telemetry.hit_ratio() == 1.0
+    assert warm_results == cold_results
+    assert all(result.meta["source"] == "disk" for result in warm_results)
+
+    table = ExperimentTable(
+        "Engine cache", "warm-cache rerun (size={})".format(SIZE),
+        ["Pass", "Simulated", "Disk hits", "Hit ratio"])
+    table.add_row("cold", cold.telemetry.computed, 0, "0%")
+    table.add_row("warm", warm.telemetry.computed,
+                  warm.telemetry.disk_hits, "100%")
+    report(table)

@@ -9,6 +9,9 @@ Examples::
     fusion-sim area --axcs 6
     fusion-sim trace fft /tmp/fft.trace --size small
     fusion-sim multitenant adpcm filter --size tiny
+    fusion-sim --jobs 4 experiment all --size full
+    fusion-sim --no-cache run FUSION fft --size small
+    fusion-sim cache stats
 """
 
 import argparse
@@ -18,6 +21,7 @@ from .common.config import small_config
 from .common.config_io import load_config
 from .energy.area import area_table, tile_area
 from .sim import charts, export
+from .sim import engine as engine_mod
 from .sim.experiments import ALL_EXPERIMENTS, table2
 from .sim.simulator import run
 from .systems import SYSTEMS
@@ -160,10 +164,44 @@ def _cmd_config(_args):
     return 0
 
 
+def _cmd_cache(args):
+    engine = engine_mod.get_engine()
+    cache = engine.cache
+    if args.action == "clear":
+        removed = cache.clear()
+        print("removed {} cached result(s) from {}".format(
+            removed, cache.root))
+        return 0
+    entries, total_bytes = cache.disk_stats()
+    print("cache dir      : {}".format(cache.root))
+    print("enabled        : {}".format("yes" if cache.enabled else
+                                       "no (REPRO_NO_CACHE)"))
+    print("schema version : {}".format(engine_mod.CACHE_SCHEMA_VERSION))
+    print("entries        : {} ({:.1f} kB)".format(
+        entries, total_bytes / 1024.0))
+    session = engine.load_session_stats()
+    if session and "telemetry" in session:
+        t = session["telemetry"]
+        print("last session   : {} simulated, {} disk hits, "
+              "{} memory hits, hit ratio {:.0%}".format(
+                  t.get("computed", 0), t.get("disk_hits", 0),
+                  t.get("memory_hits", 0), t.get("hit_ratio", 0.0)))
+    else:
+        print("last session   : (no telemetry recorded)")
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="fusion-sim",
         description="FUSION (ISCA 2015) reproduction simulator")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="simulation worker processes "
+                             "(default: REPRO_JOBS or CPU count; "
+                             "1 forces serial execution)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent result cache "
+                             "(equivalent to REPRO_NO_CACHE=1)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_size(p):
@@ -230,11 +268,20 @@ def build_parser():
 
     cfg_p = sub.add_parser("config", help="print Table 2 parameters")
     cfg_p.set_defaults(func=_cmd_config)
+
+    cache_p = sub.add_parser("cache",
+                             help="persistent result-cache maintenance")
+    cache_p.add_argument("action", choices=("stats", "clear"))
+    cache_p.set_defaults(func=_cmd_cache)
     return parser
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    if args.jobs is not None or args.no_cache:
+        engine_mod.configure(
+            jobs=args.jobs,
+            cache_enabled=False if args.no_cache else None)
     return args.func(args)
 
 

@@ -8,7 +8,9 @@ Two presets are provided:
   (8 KB L0X, 256 KB L1X).
 """
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, is_dataclass, replace
 from enum import Enum, auto
 
 from .errors import ConfigError
@@ -205,6 +207,57 @@ class SystemConfig:
         ("fixed" or "adaptive")."""
         return replace(self, tile=replace(self.tile,
                                           lease_policy=policy_name))
+
+
+def stable_config_dict(obj):
+    """Canonical JSON-able representation of a config value.
+
+    Recurses through dataclasses, enums, mappings and sequences so two
+    structurally-equal configs always serialise identically — the basis
+    of the persistent result cache's content-hash keys
+    (:func:`config_fingerprint`).  Raises :class:`ConfigError` for
+    values with no stable representation (callables, open handles, …),
+    which the engine treats as "uncacheable: run serially".
+    """
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": type(obj).__name__,
+            "fields": {f.name: stable_config_dict(getattr(obj, f.name))
+                       for f in fields(obj)},
+        }
+    if isinstance(obj, Enum):
+        return {"__enum__": type(obj).__name__, "name": obj.name}
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips exactly; json's default float formatting does
+        # too on CPython, but be explicit about the contract.
+        return {"__float__": repr(obj)}
+    if isinstance(obj, (list, tuple)):
+        return [stable_config_dict(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        return {"__set__": sorted(
+            json.dumps(stable_config_dict(item), sort_keys=True)
+            for item in obj)}
+    if isinstance(obj, dict):
+        return {"__dict__": sorted(
+            (str(key), stable_config_dict(value))
+            for key, value in obj.items())}
+    raise ConfigError(
+        "cannot fingerprint config value of type {!r}".format(
+            type(obj).__name__))
+
+
+def config_fingerprint(config):
+    """Return a stable content hash (sha256 hex) of a config dataclass.
+
+    Equal configs — including copies built independently via
+    :func:`dataclasses.replace` chains — hash identically; any field
+    change, however deep, changes the hash.
+    """
+    payload = json.dumps(stable_config_dict(config), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def small_config():

@@ -1,10 +1,13 @@
 """Simulation driver, results, experiments and reporting."""
 
 from . import charts, export, sweep, validate
-from .experiments import ALL_EXPERIMENTS
+from .engine import DiskCache, ExecutionEngine, RunRequest, get_engine
+from .experiments import ALL_EXPERIMENTS, prefetch
 from .reporting import ExperimentTable
 from .results import RunResult
 from .simulator import FIGURE6_SYSTEMS, clear_cache, run, run_all
 
 __all__ = ["charts", "export", "sweep", "validate", "ALL_EXPERIMENTS", "ExperimentTable", "RunResult",
-           "FIGURE6_SYSTEMS", "clear_cache", "run", "run_all"]
+           "FIGURE6_SYSTEMS", "clear_cache", "run", "run_all",
+           "DiskCache", "ExecutionEngine", "RunRequest", "get_engine",
+           "prefetch"]

@@ -1,0 +1,516 @@
+"""Parallel simulation engine with a persistent on-disk result cache.
+
+The experiment layer's unit of work is one (system, benchmark, size,
+config) point; the full table/figure suite evaluates a few hundred of
+them and every point is independent.  This module turns that grid into
+throughput:
+
+* :class:`ExecutionEngine` accepts a *batch* of :class:`RunRequest`\\ s,
+  deduplicates them, satisfies what it can from cache and fans the rest
+  out over a :class:`concurrent.futures.ProcessPoolExecutor` (worker
+  count from ``REPRO_JOBS`` or ``os.cpu_count()``; ``jobs=1`` and
+  non-picklable configs fall back to in-process serial execution).
+* :class:`DiskCache` persists every computed :class:`RunResult` under
+  ``~/.cache/repro`` (override with ``REPRO_CACHE_DIR``, disable with
+  ``REPRO_NO_CACHE=1``).  Entries are pickles written atomically
+  (temp file + ``os.replace``) and keyed by a content hash of
+  (system, benchmark, size, config fields, code version), so *any*
+  source change to the ``repro`` package invalidates the whole cache —
+  stale models can never leak into fresh results.
+* Light telemetry (per-run wall time, batch queue depth, cache hit
+  ratio) is attached to each returned result's ``meta`` dict and
+  aggregated on ``engine.telemetry`` so benchmark JSONs can track the
+  trajectory; an aggregate snapshot is persisted next to the cache for
+  ``fusion-sim cache stats``.
+
+The driver (:mod:`repro.sim.simulator`) routes every ``run()`` through
+the process-wide engine, so single-point callers transparently share
+the same cache as batch submitters.
+"""
+
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..common.config import config_fingerprint, small_config
+from ..common.errors import ConfigError
+from ..systems import SYSTEMS
+from ..workloads.registry import build_workload
+
+#: Bump when the cache entry layout (not the simulated models — those
+#: are covered by :func:`code_fingerprint`) changes incompatibly.
+CACHE_SCHEMA_VERSION = 1
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def _env_flag(name):
+    return os.environ.get(name, "").strip().lower() in _TRUTHY
+
+
+def resolve_jobs(jobs=None):
+    """Worker count: explicit arg > ``REPRO_JOBS`` > ``os.cpu_count()``."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            jobs = env
+    if jobs is None:
+        return os.cpu_count() or 1
+    try:
+        return max(1, int(jobs))
+    except ValueError:
+        raise ConfigError("REPRO_JOBS/--jobs must be an integer, "
+                          "got {!r}".format(jobs))
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint():
+    """Content hash of every ``repro`` source file (the "code version").
+
+    Computed once per process; any edit to the package produces new
+    cache keys, which is what makes the persistent cache safe to leave
+    enabled while developing models.
+    """
+    package_root = pathlib.Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One simulation point: what :func:`repro.run` takes, as a value."""
+
+    system: str
+    benchmark: str
+    size: str = "full"
+    config: object = None
+
+    def normalized(self):
+        """Return a copy with ``config=None`` resolved to the default."""
+        if self.config is None:
+            return RunRequest(self.system, self.benchmark, self.size,
+                              small_config())
+        return self
+
+
+def cache_key(request, epoch=0):
+    """Content-hash key for one (normalized) request.
+
+    Returns ``None`` when the config has no stable fingerprint (e.g. it
+    smuggles a callable) — such requests are uncacheable and also run
+    serially, since an unfingerprintable config is usually unpicklable
+    too.  ``epoch`` is a process-local salt bumped by
+    :func:`repro.sim.simulator.clear_cache` so tests that mutate global
+    models cannot be served stale on-disk results.
+    """
+    try:
+        config_hash = config_fingerprint(request.config)
+    except ConfigError:
+        return None
+    payload = "\n".join((
+        "schema={}".format(CACHE_SCHEMA_VERSION),
+        "code={}".format(code_fingerprint()),
+        "epoch={}".format(epoch),
+        "system={}".format(request.system),
+        "benchmark={}".format(request.benchmark),
+        "size={}".format(request.size),
+        "config={}".format(config_hash),
+    ))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _execute(request):
+    """Run one simulation point from scratch (no caching).
+
+    Top-level so it pickles for pool workers; also the serial path.
+    """
+    if request.system not in SYSTEMS:
+        raise ConfigError(
+            "unknown system {!r}; expected one of {}".format(
+                request.system, ", ".join(SYSTEMS)))
+    workload = build_workload(request.benchmark, request.size)
+    system = SYSTEMS[request.system](request.config, workload)
+    return system.run()
+
+
+def _execute_timed(request):
+    start = time.perf_counter()
+    result = _execute(request)
+    return result, time.perf_counter() - start
+
+
+def _is_picklable(obj):
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+class DiskCache:
+    """Persistent pickle store for :class:`RunResult`\\ s.
+
+    Layout: ``<root>/v<schema>/<key[:2]>/<key>.pkl``.  Writes go
+    through a temp file in the destination directory and
+    ``os.replace``, so concurrent processes never observe a torn entry.
+    A per-instance in-memory index short-circuits repeat loads and
+    preserves object identity within a process.
+    """
+
+    def __init__(self, root=None):
+        self._explicit_root = pathlib.Path(root) if root else None
+        #: Tri-state override: None = follow ``REPRO_NO_CACHE``.
+        self.enabled_override = None
+        self._index = {}
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @property
+    def root(self):
+        if self._explicit_root is not None:
+            return self._explicit_root
+        env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+        if env:
+            return pathlib.Path(env)
+        return pathlib.Path.home() / ".cache" / "repro"
+
+    @property
+    def enabled(self):
+        if self.enabled_override is not None:
+            return self.enabled_override
+        return not _env_flag("REPRO_NO_CACHE")
+
+    def _entry_dir(self):
+        return self.root / "v{}".format(CACHE_SCHEMA_VERSION)
+
+    def _path(self, key):
+        return self._entry_dir() / key[:2] / (key + ".pkl")
+
+    def load(self, key):
+        """Return the cached result for ``key`` or ``None``."""
+        if key is None or not self.enabled:
+            return None
+        index_key = (str(self.root), key)
+        if index_key in self._index:
+            self.memory_hits += 1
+            return self._index[index_key]
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fileobj:
+                result = pickle.load(fileobj)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Torn/stale/unreadable entry: drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self._index[index_key] = result
+        self.disk_hits += 1
+        return result
+
+    def store(self, key, result):
+        if key is None or not self.enabled:
+            return
+        self._index[(str(self.root), key)] = result
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            dir=str(path.parent), prefix=".tmp-", delete=False)
+        try:
+            with handle as fileobj:
+                pickle.dump(result, fileobj, pickle.HIGHEST_PROTOCOL)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def clear_index(self):
+        """Drop the in-memory index (disk entries survive)."""
+        self._index.clear()
+
+    def clear(self):
+        """Delete every on-disk entry; returns the number removed."""
+        removed = 0
+        entry_dir = self._entry_dir()
+        if entry_dir.is_dir():
+            for path in sorted(entry_dir.rglob("*.pkl")):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        self.clear_index()
+        return removed
+
+    def disk_stats(self):
+        """Return ``(entries, total_bytes)`` for the on-disk store."""
+        entries, total = 0, 0
+        entry_dir = self._entry_dir()
+        if entry_dir.is_dir():
+            for path in entry_dir.rglob("*.pkl"):
+                try:
+                    total += path.stat().st_size
+                    entries += 1
+                except OSError:
+                    pass
+        return entries, total
+
+
+@dataclass
+class EngineTelemetry:
+    """Aggregate counters across every batch an engine has run."""
+
+    batches: int = 0
+    requested: int = 0
+    unique: int = 0
+    computed: int = 0
+    parallel_computed: int = 0
+    serial_computed: int = 0
+    disk_hits: int = 0
+    memory_hits: int = 0
+    uncacheable: int = 0
+    wall_s: float = 0.0
+    max_queue_depth: int = 0
+
+    @property
+    def hits(self):
+        return self.disk_hits + self.memory_hits
+
+    def hit_ratio(self):
+        served = self.hits + self.computed
+        return self.hits / served if served else 0.0
+
+    def snapshot(self):
+        data = {name: getattr(self, name) for name in (
+            "batches", "requested", "unique", "computed",
+            "parallel_computed", "serial_computed", "disk_hits",
+            "memory_hits", "uncacheable", "max_queue_depth")}
+        data["wall_s"] = round(self.wall_s, 6)
+        data["hit_ratio"] = round(self.hit_ratio(), 6)
+        return data
+
+
+class ExecutionEngine:
+    """Deduplicating, caching, parallelising executor for run batches."""
+
+    def __init__(self, jobs=None, cache=None):
+        #: None defers to ``REPRO_JOBS``/CPU count at each batch.
+        self.jobs = jobs
+        self.cache = cache if cache is not None else DiskCache()
+        self.epoch = 0
+        self.telemetry = EngineTelemetry()
+
+    # -- configuration -----------------------------------------------------
+
+    def bump_epoch(self):
+        """Invalidate cached results for this process (see clear_cache)."""
+        self.epoch += 1
+        self.cache.clear_index()
+
+    # -- execution ---------------------------------------------------------
+
+    def run_one(self, request):
+        """Run a single request (a batch of one)."""
+        return self.run_batch([request])[0]
+
+    def run_batch(self, requests, jobs=None):
+        """Run a batch; returns results aligned with ``requests``.
+
+        Duplicate requests are simulated once.  Cache misses run in
+        parallel when more than one is outstanding and the effective
+        worker count exceeds one.
+        """
+        started = time.perf_counter()
+        normalized = [request.normalized() for request in requests]
+        for request in normalized:
+            if request.system not in SYSTEMS:
+                raise ConfigError(
+                    "unknown system {!r}; expected one of {}".format(
+                        request.system, ", ".join(SYSTEMS)))
+
+        # Deduplicate on the cache key; unkeyable requests dedupe on the
+        # request value itself when hashable, else run individually.
+        unique, order = {}, []
+        for request in normalized:
+            key = cache_key(request, self.epoch)
+            if key is None:
+                try:
+                    key = ("unkeyed", hash(request))
+                except TypeError:
+                    key = ("unkeyed", len(order), id(request))
+            if key not in unique:
+                unique[key] = request
+            order.append(key)
+
+        results = {}
+        cacheable_misses, uncacheable = [], []
+        for key, request in unique.items():
+            if isinstance(key, tuple):
+                uncacheable.append((key, request))
+                continue
+            memory_hits_before = self.cache.memory_hits
+            cached = self.cache.load(key)
+            if cached is not None:
+                cached.meta["source"] = (
+                    "memory" if self.cache.memory_hits > memory_hits_before
+                    else "disk")
+                results[key] = cached
+            else:
+                cacheable_misses.append((key, request))
+
+        hits = len(results)
+        misses = cacheable_misses + uncacheable
+        queue_depth = len(misses)
+        effective_jobs = resolve_jobs(self.jobs if jobs is None else jobs)
+
+        parallelisable, serial = [], list(uncacheable)
+        if effective_jobs > 1 and queue_depth > 1:
+            for key, request in cacheable_misses:
+                if _is_picklable(request):
+                    parallelisable.append((key, request))
+                else:
+                    serial.append((key, request))
+        else:
+            serial = list(misses)
+
+        computed = {}
+        if parallelisable:
+            workers = min(effective_jobs, len(parallelisable))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_execute_timed, request)
+                           for _, request in parallelisable]
+                for (key, _), future in zip(parallelisable, futures):
+                    result, wall = future.result()
+                    computed[key] = (result, wall, "computed-parallel")
+        for key, request in serial:
+            result, wall = _execute_timed(request)
+            computed[key] = (result, wall, "computed")
+
+        for key, (result, wall, source) in computed.items():
+            if not isinstance(key, tuple):
+                self.cache.store(key, result)
+            result.meta.update({"source": source, "wall_s": wall})
+            results[key] = result
+
+        batch_wall = time.perf_counter() - started
+        served = hits + len(computed)
+        batch_hit_ratio = hits / served if served else 0.0
+        for key in set(order):
+            result = results[key]
+            result.meta.setdefault("wall_s", 0.0)
+            result.meta.update({
+                "queue_depth": queue_depth,
+                "jobs": effective_jobs,
+                "batch_hit_ratio": batch_hit_ratio,
+            })
+
+        telemetry = self.telemetry
+        telemetry.batches += 1
+        telemetry.requested += len(normalized)
+        telemetry.unique += len(unique)
+        telemetry.computed += len(computed)
+        telemetry.parallel_computed += len(parallelisable)
+        telemetry.serial_computed += len(serial)
+        telemetry.disk_hits = self.cache.disk_hits
+        telemetry.memory_hits = self.cache.memory_hits
+        telemetry.uncacheable += len(uncacheable)
+        telemetry.wall_s += batch_wall
+        telemetry.max_queue_depth = max(telemetry.max_queue_depth,
+                                        queue_depth)
+        self._persist_session_stats()
+
+        return [results[key] for key in order]
+
+    # -- reporting ---------------------------------------------------------
+
+    def _stats_path(self):
+        return self.cache.root / "stats.json"
+
+    def _persist_session_stats(self):
+        """Write the aggregate telemetry snapshot next to the cache.
+
+        Best-effort (``fusion-sim cache stats`` reads it back); skipped
+        entirely when the cache is disabled.
+        """
+        if not self.cache.enabled:
+            return
+        payload = {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "updated_unix": time.time(),
+            "telemetry": self.telemetry.snapshot(),
+        }
+        path = self._stats_path()
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                mode="w", dir=str(path.parent), prefix=".tmp-",
+                delete=False)
+            with handle as fileobj:
+                json.dump(payload, fileobj, indent=1)
+            os.replace(handle.name, path)
+        except OSError:
+            pass
+
+    def load_session_stats(self):
+        """Return the last persisted telemetry snapshot, or ``None``."""
+        try:
+            with open(self._stats_path()) as fileobj:
+                return json.load(fileobj)
+        except (OSError, ValueError):
+            return None
+
+
+# -- the process-wide engine ----------------------------------------------
+
+_ENGINE = None
+
+
+def get_engine():
+    """Return the process-wide :class:`ExecutionEngine` (created lazily)."""
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = ExecutionEngine()
+    return _ENGINE
+
+
+def configure(jobs=None, cache_enabled=None):
+    """Apply CLI/session overrides to the process-wide engine.
+
+    ``jobs=None`` / ``cache_enabled=None`` leave the respective setting
+    following the environment (``REPRO_JOBS`` / ``REPRO_NO_CACHE``).
+    """
+    engine = get_engine()
+    if jobs is not None:
+        engine.jobs = resolve_jobs(jobs)
+    if cache_enabled is not None:
+        engine.cache.enabled_override = bool(cache_enabled)
+    return engine
+
+
+def reset_engine():
+    """Drop the process-wide engine (tests and CLI isolation)."""
+    global _ENGINE
+    _ENGINE = None

@@ -57,6 +57,10 @@ def result_to_dict(result, include_stats=False):
         "ax_rmap_lookups": result.ax_rmap_lookups,
         "forwarded_lines": result.forwarded_lines,
     }
+    if result.meta:
+        # Engine telemetry (wall time, cache source, batch hit ratio)
+        # so regression dashboards can track the execution trajectory.
+        payload["engine"] = dict(result.meta)
     if include_stats:
         payload["stats"] = dict(result.stats)
     return payload
@@ -73,14 +77,16 @@ def results_to_csv(results):
         return ""
     rows = [result_to_dict(result) for result in results]
     component_keys = sorted(rows[0]["energy_components_pj"])
-    headers = [key for key in rows[0] if key != "energy_components_pj"]
+    headers = [key for key in rows[0]
+               if key not in ("energy_components_pj", "engine")]
     headers += ["energy_{}_pj".format(key) for key in component_keys]
     buffer = io.StringIO()
     writer = csv.writer(buffer)
     writer.writerow(headers)
     for row in rows:
         components = row.pop("energy_components_pj")
-        writer.writerow([row[key] for key in row]
+        row.pop("engine", None)
+        writer.writerow([row.get(key, "") for key in headers]
                         + [components.get(key, 0.0)
                            for key in component_keys])
     return buffer.getvalue()

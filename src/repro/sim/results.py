@@ -17,6 +17,10 @@ class RunResult:
     total_cycles: int
     stats: dict = field(default_factory=dict)
     energy: EnergyBreakdown = None
+    #: Engine telemetry (wall time, cache source, queue depth, …) —
+    #: bookkeeping about *how* the result was obtained, never part of
+    #: the simulated outcome, hence excluded from equality.
+    meta: dict = field(default_factory=dict, compare=False, repr=False)
 
     @classmethod
     def from_system(cls, system, accel_cycles, total_cycles,

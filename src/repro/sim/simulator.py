@@ -2,9 +2,12 @@
 
 ``run(system, benchmark)`` builds the workload, assembles the system and
 executes it, returning a :class:`repro.sim.results.RunResult`.  Results
-are memoised — every experiment that needs the same (system, benchmark,
-size, config) triple shares one simulation, which is what makes the
-full table/figure suite affordable.
+are memoised in-process — every experiment that needs the same (system,
+benchmark, size, config) triple shares one simulation — and each point
+is routed through the process-wide :class:`repro.sim.engine`
+:class:`~repro.sim.engine.ExecutionEngine`, which adds a persistent
+on-disk result cache and, for batch submitters (``prefetch``, sweeps,
+the benchmark harness), process-pool parallelism.
 """
 
 from functools import lru_cache
@@ -12,7 +15,8 @@ from functools import lru_cache
 from ..common.config import small_config
 from ..common.errors import ConfigError
 from ..systems import SYSTEMS
-from ..workloads.registry import build_workload
+from ..workloads import registry
+from .engine import RunRequest, get_engine
 
 #: The three systems compared in Figure 6 (FUSION-Dx is studied
 #: separately in Table 5).
@@ -32,9 +36,8 @@ def _run_cached(system_name, benchmark, size, config):
         raise ConfigError(
             "unknown system {!r}; expected one of {}".format(
                 system_name, ", ".join(SYSTEMS)))
-    workload = build_workload(benchmark, size)
-    system = SYSTEMS[system_name](config, workload)
-    return system.run()
+    return get_engine().run_one(
+        RunRequest(system_name, benchmark, size, config))
 
 
 def run_all(benchmark, size="full", config=None, systems=FIGURE6_SYSTEMS):
@@ -43,5 +46,14 @@ def run_all(benchmark, size="full", config=None, systems=FIGURE6_SYSTEMS):
 
 
 def clear_cache():
-    """Drop memoised results (used by tests that mutate global models)."""
+    """Drop every memoised result (used by tests that mutate global models).
+
+    Clears the in-process result memo, the workload-build caches in
+    :mod:`repro.workloads.registry`, and the disk-cache layer's
+    in-memory index; it also bumps the engine's cache epoch so the
+    *on-disk* store cannot serve results computed before the mutation
+    (fresh processes, whose globals are pristine, still hit it).
+    """
     _run_cached.cache_clear()
+    registry.clear_caches()
+    get_engine().bump_epoch()

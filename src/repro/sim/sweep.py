@@ -21,8 +21,8 @@ from dataclasses import replace
 
 from ..common.config import CacheConfig, small_config
 from ..common.units import KB
+from .engine import RunRequest, get_engine
 from .reporting import ExperimentTable
-from .simulator import run
 
 #: Metric extractors available to sweeps.
 METRICS = {
@@ -105,7 +105,12 @@ def sweep(systems, benchmarks, axes, metrics=("accel_cycles",
     table = ExperimentTable(
         "Sweep", "design-space sweep (size={})".format(size),
         ["System", "Benchmark"] + axis_names + list(metrics))
-    results = {}
+
+    # Materialise the whole axis product first and submit it to the
+    # execution engine as one batch — deduplicated, disk-cached and
+    # fanned out over REPRO_JOBS workers — then fill the table from
+    # the returned (order-preserving) results.
+    points, requests = [], []
     for system in systems:
         for benchmark in benchmarks:
             for labels, transforms in _grid(axes):
@@ -114,8 +119,13 @@ def sweep(systems, benchmarks, axes, metrics=("accel_cycles",
                     config = transform(config)
                 config = replace(config, name="sweep:" + ":".join(
                     labels) if labels else config.name)
-                result = run(system, benchmark, size, config)
-                results[(system, benchmark) + labels] = result
-                table.add_row(system, benchmark, *labels,
-                              *[METRICS[m](result) for m in metrics])
+                points.append((system, benchmark, labels))
+                requests.append(RunRequest(system, benchmark, size, config))
+    run_results = get_engine().run_batch(requests)
+
+    results = {}
+    for (system, benchmark, labels), result in zip(points, run_results):
+        results[(system, benchmark) + labels] = result
+        table.add_row(system, benchmark, *labels,
+                      *[METRICS[m](result) for m in metrics])
     return table, results

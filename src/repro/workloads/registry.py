@@ -99,3 +99,13 @@ def build_workload_with_outputs(name, size="full"):
         raise TraceError("unknown size {!r} for {}".format(size, name))
     build = _BUILDERS[name]
     return build(_factory, **_SIZES[name][size])
+
+
+def clear_caches():
+    """Drop the memoised workload builds.
+
+    Called by :func:`repro.sim.simulator.clear_cache` so tests that
+    mutate global models (kernels, builders) get fresh traces too.
+    """
+    build_workload.cache_clear()
+    build_workload_with_outputs.cache_clear()

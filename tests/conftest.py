@@ -5,11 +5,31 @@ read-only to the simulator), so the many tests that need a trace don't
 re-run the kernels.
 """
 
+import os
+
 import pytest
 
 from repro.common.config import CacheConfig, small_config
 from repro.common.stats import StatsRegistry
 from repro.workloads.registry import BENCHMARKS, build_workload
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the engine's persistent cache at a throwaway directory.
+
+    Keeps the developer's real ``~/.cache/repro`` out of test runs (no
+    pollution from tiny workloads, no stale hits masking in-test model
+    mutation) while still exercising the disk-cache code paths.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("repro-result-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture

@@ -107,3 +107,42 @@ def test_line_fields_roundtrip():
     assert line.state == "W"
     assert line.lease == 500
     assert line.paddr == 0x1000
+
+
+def test_multi_eviction_follows_insertion_order():
+    # With no intervening touches, victims leave in insertion order.
+    cache = make_cache(size=512, ways=2)
+    set_stride = 4 * 64
+    a, b, c, d = (i * set_stride for i in range(4))
+    cache.insert(a)
+    cache.insert(b)
+    assert cache.insert(c).block == a
+    assert cache.insert(d).block == b
+    assert cache.contains(c) and cache.contains(d)
+
+
+def test_untouched_lookup_does_not_perturb_lru():
+    cache = make_cache(size=512, ways=2)
+    set_stride = 4 * 64
+    a, b, c = 0, set_stride, 2 * set_stride
+    cache.insert(a)
+    cache.insert(b)
+    cache.lookup(a, touch=False)   # protocol probe: must not refresh a
+    assert cache.insert(c).block == a
+
+
+def test_reinsert_after_invalidate_is_legal():
+    cache = make_cache()
+    cache.insert(0x100, dirty=True)
+    removed = cache.invalidate(0x100)
+    assert removed.dirty
+    cache.insert(0x100)            # no SimulationError
+    assert not cache.lookup(0x100).dirty
+
+
+def test_double_insert_reports_cache_name_and_block():
+    cache = make_cache()
+    cache.insert(0x1C0)
+    with pytest.raises(SimulationError, match=r"test: double insert "
+                                              r"of block 0x1c0"):
+        cache.insert(0x1C0)

@@ -113,3 +113,52 @@ def test_multitenant_per_tile(capsys):
 def test_command_required():
     with pytest.raises(SystemExit):
         main([])
+
+
+@pytest.fixture
+def fresh_engine(tmp_path, monkeypatch):
+    """Isolate the process-wide engine (and its cache dir) per test."""
+    from repro.sim.engine import reset_engine
+    from repro.sim.simulator import clear_cache
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    clear_cache()   # drop the in-process result memo too
+    reset_engine()
+    yield
+    clear_cache()
+    reset_engine()
+
+
+def test_parser_accepts_jobs_and_no_cache():
+    args = build_parser().parse_args(
+        ["--jobs", "4", "--no-cache", "run", "FUSION", "adpcm"])
+    assert args.jobs == 4
+    assert args.no_cache is True
+
+
+def test_jobs_and_no_cache_configure_engine(fresh_engine, capsys):
+    from repro.sim.engine import get_engine
+    assert main(["--jobs", "1", "--no-cache", "run", "FUSION", "adpcm",
+                 "--size", "tiny"]) == 0
+    engine = get_engine()
+    assert engine.jobs == 1
+    assert engine.cache.enabled is False
+    assert engine.cache.disk_stats() == (0, 0)
+
+
+def test_cache_stats_command(fresh_engine, capsys):
+    assert main(["run", "FUSION", "adpcm", "--size", "tiny"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "entries        : 1" in out
+    assert "last session" in out
+    assert "hit ratio" in out
+
+
+def test_cache_clear_command(fresh_engine, capsys):
+    assert main(["run", "FUSION", "adpcm", "--size", "tiny"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "clear"]) == 0
+    assert "removed 1 cached result(s)" in capsys.readouterr().out
+    assert main(["cache", "stats"]) == 0
+    assert "entries        : 0" in capsys.readouterr().out

@@ -1,0 +1,284 @@
+"""The parallel execution engine and persistent result cache
+(repro.sim.engine)."""
+
+import dataclasses
+import os
+import pickle
+
+import pytest
+
+from repro.common.config import (
+    ConfigError,
+    SystemConfig,
+    config_fingerprint,
+    small_config,
+    stable_config_dict,
+)
+from repro.sim.engine import (
+    CACHE_SCHEMA_VERSION,
+    DiskCache,
+    ExecutionEngine,
+    RunRequest,
+    cache_key,
+    code_fingerprint,
+    configure,
+    get_engine,
+    reset_engine,
+    resolve_jobs,
+)
+from repro.sim.simulator import clear_cache, run
+
+
+@pytest.fixture
+def engine(tmp_path):
+    """A private engine over a throwaway cache directory."""
+    return ExecutionEngine(cache=DiskCache(tmp_path / "cache"))
+
+
+def _batch(*systems, size="tiny", benchmark="adpcm", config=None):
+    return [RunRequest(system, benchmark, size, config)
+            for system in systems]
+
+
+# -- config fingerprinting -------------------------------------------------
+
+def test_equal_configs_fingerprint_identically():
+    assert (config_fingerprint(small_config())
+            == config_fingerprint(small_config()))
+
+
+def test_any_field_change_changes_fingerprint():
+    base = small_config()
+    assert (config_fingerprint(base)
+            != config_fingerprint(base.with_lease(123)))
+    assert (config_fingerprint(base)
+            != config_fingerprint(dataclasses.replace(base, name="x")))
+
+
+def test_unfingerprintable_config_rejected():
+    with pytest.raises(ConfigError, match="cannot fingerprint"):
+        stable_config_dict(lambda: None)
+
+
+def test_stable_dict_sorts_mappings_and_sets():
+    assert stable_config_dict({"b": 1, "a": 2}) == \
+        stable_config_dict({"a": 2, "b": 1})
+    assert stable_config_dict({2, 1, 3}) == stable_config_dict({3, 1, 2})
+
+
+# -- cache keys ------------------------------------------------------------
+
+def test_cache_key_stable_across_equal_requests():
+    a = RunRequest("FUSION", "adpcm", "tiny").normalized()
+    b = RunRequest("FUSION", "adpcm", "tiny", small_config())
+    assert cache_key(a) == cache_key(b)
+
+
+def test_cache_key_varies_with_every_component():
+    base = RunRequest("FUSION", "adpcm", "tiny").normalized()
+    keys = {cache_key(base)}
+    keys.add(cache_key(dataclasses.replace(base, system="SHARED")))
+    keys.add(cache_key(dataclasses.replace(base, benchmark="fft")))
+    keys.add(cache_key(dataclasses.replace(base, size="small")))
+    keys.add(cache_key(dataclasses.replace(
+        base, config=small_config().with_lease(77))))
+    keys.add(cache_key(base, epoch=1))
+    assert len(keys) == 6
+
+
+def test_code_fingerprint_is_stable_in_process():
+    assert code_fingerprint() == code_fingerprint()
+    assert len(code_fingerprint()) == 64
+
+
+# -- jobs resolution -------------------------------------------------------
+
+def test_resolve_jobs_precedence(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert resolve_jobs() == 3
+    assert resolve_jobs(2) == 2
+    monkeypatch.delenv("REPRO_JOBS")
+    assert resolve_jobs() == (os.cpu_count() or 1)
+    assert resolve_jobs(0) == 1
+
+
+def test_resolve_jobs_rejects_garbage(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    with pytest.raises(ConfigError, match="REPRO_JOBS"):
+        resolve_jobs()
+
+
+# -- disk cache ------------------------------------------------------------
+
+def test_disk_cache_roundtrip(tmp_path, engine):
+    [result] = engine.run_batch(_batch("FUSION"))
+    assert engine.telemetry.computed == 1
+    # A second engine over the same directory loads it from disk.
+    other = ExecutionEngine(cache=engine.cache.__class__(engine.cache.root))
+    [loaded] = other.run_batch(_batch("FUSION"))
+    assert other.telemetry.computed == 0
+    assert other.telemetry.disk_hits == 1
+    assert loaded == result and loaded is not result
+    assert loaded.meta["source"] == "disk"
+
+
+def test_disk_cache_disabled_by_env(tmp_path, monkeypatch, engine):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    engine.run_batch(_batch("FUSION"))
+    assert engine.cache.disk_stats() == (0, 0)
+    monkeypatch.delenv("REPRO_NO_CACHE")
+    engine.run_batch(_batch("SHARED"))
+    assert engine.cache.disk_stats()[0] == 1
+
+
+def test_disk_cache_survives_corrupt_entry(engine):
+    [first] = engine.run_batch(_batch("FUSION"))
+    # Corrupt the single entry on disk, drop the memory index, rerun.
+    entries = list(engine.cache.root.rglob("*.pkl"))
+    assert len(entries) == 1
+    entries[0].write_bytes(b"not a pickle")
+    engine.cache.clear_index()
+    [second] = engine.run_batch(_batch("FUSION"))
+    assert second == first
+    assert engine.telemetry.computed == 2  # recomputed, not crashed
+
+
+def test_disk_cache_clear_removes_entries(engine):
+    engine.run_batch(_batch("FUSION", "SHARED", "SCRATCH"))
+    entries, total_bytes = engine.cache.disk_stats()
+    assert entries == 3 and total_bytes > 0
+    assert engine.cache.clear() == 3
+    assert engine.cache.disk_stats() == (0, 0)
+
+
+# -- batching --------------------------------------------------------------
+
+def test_batch_deduplicates(engine):
+    results = engine.run_batch(_batch("FUSION", "SHARED", "FUSION",
+                                      "FUSION"))
+    assert engine.telemetry.requested == 4
+    assert engine.telemetry.unique == 2
+    assert engine.telemetry.computed == 2
+    assert results[0] is results[2] is results[3]
+
+
+def test_batch_preserves_request_order(engine):
+    systems = ("SHARED", "FUSION", "SCRATCH", "FUSION")
+    results = engine.run_batch(_batch(*systems))
+    assert [result.system for result in results] == list(systems)
+
+
+def test_batch_rejects_unknown_system(engine):
+    with pytest.raises(ConfigError, match="unknown system"):
+        engine.run_batch(_batch("FUSION", "GPU"))
+
+
+def test_warm_batch_is_all_memory_hits(engine):
+    engine.run_batch(_batch("FUSION", "SHARED"))
+    engine.run_batch(_batch("FUSION", "SHARED"))
+    assert engine.telemetry.computed == 2
+    assert engine.telemetry.memory_hits == 2
+    assert engine.telemetry.hit_ratio() == 0.5
+
+
+def test_parallel_matches_serial_bit_for_bit(tmp_path):
+    grid = _batch("SCRATCH", "SHARED", "FUSION", "FUSION-Dx")
+    serial = ExecutionEngine(jobs=1, cache=DiskCache(tmp_path / "a"))
+    parallel = ExecutionEngine(jobs=2, cache=DiskCache(tmp_path / "b"))
+    serial_results = serial.run_batch(grid)
+    parallel_results = parallel.run_batch(grid)
+    assert parallel.telemetry.parallel_computed == 4
+    assert serial.telemetry.parallel_computed == 0
+    assert parallel_results == serial_results
+    for result in parallel_results:
+        assert result.meta["source"] == "computed-parallel"
+        assert result.meta["jobs"] == 2
+        assert result.meta["wall_s"] > 0
+
+
+def test_single_miss_never_spawns_a_pool(engine):
+    engine.jobs = 8
+    engine.run_batch(_batch("FUSION"))
+    assert engine.telemetry.parallel_computed == 0
+    assert engine.telemetry.serial_computed == 1
+
+
+@dataclasses.dataclass(frozen=True)
+class _HookedConfig(SystemConfig):
+    """A config smuggling a callable: unpicklable and unfingerprintable."""
+
+    hook: object = dataclasses.field(default=None, compare=False)
+
+
+def test_unpicklable_config_falls_back_to_serial(tmp_path):
+    config = _HookedConfig(hook=lambda: None)
+    with pytest.raises(Exception):
+        pickle.dumps(config)
+    engine = ExecutionEngine(jobs=2, cache=DiskCache(tmp_path / "c"))
+    results = engine.run_batch(
+        _batch("FUSION", config=config) + _batch("SHARED", config=config))
+    assert [result.system for result in results] == ["FUSION", "SHARED"]
+    assert engine.telemetry.parallel_computed == 0
+    assert engine.telemetry.uncacheable == 2
+    assert engine.cache.disk_stats() == (0, 0)  # never persisted
+
+
+# -- telemetry -------------------------------------------------------------
+
+def test_results_carry_engine_telemetry(engine):
+    [result] = engine.run_batch(_batch("FUSION"))
+    assert result.meta["source"] == "computed"
+    assert result.meta["wall_s"] > 0
+    assert result.meta["queue_depth"] == 1
+    assert result.meta["batch_hit_ratio"] == 0.0
+
+
+def test_session_stats_persisted(engine):
+    engine.run_batch(_batch("FUSION"))
+    payload = engine.load_session_stats()
+    assert payload["schema_version"] == CACHE_SCHEMA_VERSION
+    assert payload["telemetry"]["computed"] == 1
+
+
+# -- the process-wide engine and clear_cache -------------------------------
+
+def test_get_engine_is_a_singleton():
+    reset_engine()
+    try:
+        assert get_engine() is get_engine()
+    finally:
+        reset_engine()
+
+
+def test_configure_overrides(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    reset_engine()
+    try:
+        engine = configure(jobs=3, cache_enabled=False)
+        assert engine.jobs == 3
+        assert engine.cache.enabled is False
+        engine.run_batch(_batch("FUSION"))
+        assert engine.cache.disk_stats() == (0, 0)
+    finally:
+        reset_engine()
+
+
+def test_clear_cache_defeats_stale_disk_results():
+    first = run("FUSION", "adpcm", "tiny")
+    telemetry = get_engine().telemetry
+    computed_before = telemetry.computed
+    clear_cache()
+    second = run("FUSION", "adpcm", "tiny")
+    # Recomputed from scratch: the epoch bump must defeat both the
+    # in-memory index and the on-disk entry.
+    assert telemetry.computed == computed_before + 1
+    assert second is not first
+    assert second == first  # deterministic
+
+
+def test_clear_cache_clears_workload_registry():
+    from repro.workloads.registry import build_workload
+    before = build_workload("adpcm", "tiny")
+    clear_cache()
+    after = build_workload("adpcm", "tiny")
+    assert after is not before

@@ -114,3 +114,51 @@ def test_geomean():
     assert experiments._geomean([1, 4]) == pytest.approx(2.0)
     assert experiments._geomean([]) == 0.0
     assert experiments._geomean([0, 2]) == pytest.approx(2.0)
+
+
+def test_geomean_warns_on_all_non_positive_input():
+    with pytest.warns(RuntimeWarning, match="all-non-positive"):
+        assert experiments._geomean([0, -3]) == 0.0
+    with pytest.warns(RuntimeWarning):
+        assert experiments._geomean([0]) == 0.0
+
+
+def test_table4_empty_working_set_reports_zero_dirty(monkeypatch):
+    from repro.common.types import WorkloadTrace
+    from repro.sim.results import RunResult
+
+    def fake_run(system, name, size, config=None):
+        return RunResult(system=system, benchmark=name,
+                         config_name="small", accel_cycles=1,
+                         total_cycles=1, stats={})
+
+    monkeypatch.setattr(experiments, "run", fake_run)
+    monkeypatch.setattr(experiments, "build_workload",
+                        lambda name, size: WorkloadTrace(benchmark=name))
+    monkeypatch.setattr(experiments, "_prefetch", lambda requests: None)
+    table = experiments.table4(size="tiny", benchmarks=("fft",))
+    assert table.column("%DirtyBlocks") == ["0"]  # not ZeroDivisionError
+
+
+def test_prefetch_warms_every_simulating_experiment():
+    from repro.sim.engine import get_engine
+    snapshot = experiments.prefetch(size="tiny", benchmarks=("adpcm",))
+    computed_after_warm = snapshot["computed"]
+    # A rerun of the same grids is served entirely from cache.
+    again = experiments.prefetch(size="tiny", benchmarks=("adpcm",))
+    assert again["computed"] == computed_after_warm
+    assert again["memory_hits"] > snapshot["memory_hits"]
+    # The warmed experiments now assemble without re-simulating.
+    before = get_engine().telemetry.computed
+    experiments.figure6_performance(size="tiny", benchmarks=("adpcm",))
+    assert get_engine().telemetry.computed == before
+
+
+def test_experiment_grids_cover_every_simulating_experiment():
+    assert set(experiments.EXPERIMENT_GRIDS) == (
+        set(experiments.ALL_EXPERIMENTS) - {"table1", "table2"})
+    for name, grid in experiments.EXPERIMENT_GRIDS.items():
+        requests = grid("tiny")
+        assert requests, name
+        for request in requests:
+            assert request.size == "tiny"

@@ -88,3 +88,37 @@ def test_all_metrics_resolve():
                      axes=[], metrics=tuple(sorted(METRICS)),
                      size="tiny")
     assert len(table.rows[0]) == 2 + len(METRICS)
+
+
+# -- the axis-product grid itself ------------------------------------------
+
+def test_grid_empty_axes_yields_one_empty_point():
+    from repro.sim.sweep import _grid
+    assert list(_grid([])) == [((), ())]
+
+
+def test_grid_ordering_is_row_major():
+    from repro.sim.sweep import _grid
+
+    def t(tag):
+        def transform(config):
+            return config
+        transform.tag = tag
+        return transform
+
+    axes = [("a", [("1", t("a1")), ("2", t("a2"))]),
+            ("b", [("x", t("bx")), ("y", t("by"))])]
+    points = list(_grid(axes))
+    assert [labels for labels, _ in points] == [
+        ("1", "x"), ("1", "y"), ("2", "x"), ("2", "y")]
+    # Transforms stay paired with their labels, first axis first.
+    for labels, transforms in points:
+        assert [f.tag for f in transforms] == [
+            "a" + labels[0], "b" + labels[1]]
+
+
+def test_grid_single_axis_preserves_point_order():
+    from repro.sim.sweep import _grid
+    axis = ("lease", [(str(v), None) for v in (500, 100, 2000)])
+    labels = [labels for labels, _ in _grid([axis])]
+    assert labels == [("500",), ("100",), ("2000",)]
