@@ -1,6 +1,17 @@
 """Microbenchmarks of the simulator's hot paths (true pytest-benchmark
-timing loops — these gate simulator performance regressions)."""
+timing loops — these gate simulator performance regressions).
 
+The ``test_micro_core_run_*`` pair measures the tentpole claim of the
+trace-lowering layer directly: the same synthetic invocation interpreted
+by the legacy per-op loop (replicated in ``perf_smoke.py``) vs executed
+from its lowered stream by the production ``AxcCore.run``.  The
+committed numbers (and the CI regression gate) live in
+``results/perf_baseline.json`` via ``python benchmarks/perf_smoke.py``.
+"""
+
+import perf_smoke
+
+from repro.accel.core import AxcCore
 from repro.common.config import small_config
 from repro.common.stats import StatsRegistry
 from repro.common.types import AccessType, MemOp
@@ -9,6 +20,7 @@ from repro.coherence.mesi import HostMemorySystem
 from repro.interconnect.link import Link
 from repro.mem.cache import SetAssocCache
 from repro.mem.tlb import PageTable
+from repro.workloads.lowering import lowered_trace
 
 
 def test_micro_cache_lookup(benchmark):
@@ -39,6 +51,35 @@ def test_micro_acc_hit_path(benchmark):
             l0x.access(op, now=i, lease=1_000_000)
 
     benchmark(accesses)
+
+
+def test_micro_core_run_lowered(benchmark):
+    """Ops/sec of the production core over the pre-lowered stream."""
+    trace = perf_smoke.make_trace()
+    core = AxcCore(0, StatsRegistry())
+    lowered_trace(trace, core.issue_width)  # lower once, outside the loop
+
+    benchmark(lambda: core.run(trace, 0, perf_smoke._flat_access, mlp=4))
+
+
+def test_micro_core_run_legacy(benchmark):
+    """Ops/sec of the replicated pre-lowering interpreter (comparison
+    point for the speedup the lowering layer claims)."""
+    trace = perf_smoke.make_trace()
+    core = AxcCore(0, StatsRegistry())
+
+    benchmark(lambda: perf_smoke.legacy_run(
+        core, trace, 0, perf_smoke._flat_access, mlp=4))
+
+
+def test_micro_lowered_matches_legacy():
+    """Semantics gate: both interpreters end at the same cycle."""
+    trace = perf_smoke.make_trace()
+    core = AxcCore(0, StatsRegistry())
+    legacy_end = perf_smoke.legacy_run(
+        core, trace, 0, perf_smoke._flat_access, mlp=4)
+    lowered_end = core.run(trace, 0, perf_smoke._flat_access, mlp=4)
+    assert lowered_end == legacy_end
 
 
 def test_micro_host_load_hit(benchmark):

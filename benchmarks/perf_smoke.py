@@ -1,0 +1,232 @@
+"""Perf smoke: guard the lowered hot path's speedup against regression.
+
+The trace-lowering layer (``repro.workloads.lowering``) exists to make
+the per-access inner loop fast; this script *measures* that claim and
+fails when it regresses.  It times the same synthetic invocation two
+ways:
+
+* **legacy** — a faithful replica of the pre-lowering interpreter
+  (isinstance dispatch over ``trace.ops``, per-op ``math.ceil``,
+  ``op.block`` property, dotted-name stats), kept here as the fixed
+  comparison point;
+* **lowered** — the production :meth:`repro.accel.core.AxcCore.run`
+  over the compiled stream.
+
+Both paths must produce the *same end time* (semantics check), and the
+lowered/legacy ops-per-second ratio must stay within ``TOLERANCE`` of
+the committed baseline (``benchmarks/results/perf_baseline.json``).
+Comparing the *ratio* rather than absolute ops/sec keeps the gate
+meaningful across machines of different speeds.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py                  # gate
+    PYTHONPATH=src python benchmarks/perf_smoke.py --write-baseline # regen
+"""
+
+import argparse
+import heapq
+import json
+import math
+import pathlib
+import sys
+import time
+
+from repro.accel.core import AxcCore
+from repro.common.stats import StatsRegistry
+from repro.common.types import AccessType, ComputeOp, FunctionTrace, MemOp
+
+BASELINE_PATH = (pathlib.Path(__file__).parent / "results"
+                 / "perf_baseline.json")
+
+#: Allowed relative drop of the lowered/legacy speedup ratio before the
+#: gate fails (satellite requirement: >30% regression fails CI).
+TOLERANCE = 0.30
+
+#: Best-of-N timing repeats (the minimum is robust to scheduler noise).
+REPEATS = 5
+
+
+def make_trace(num_mem_ops=4096, blocks=64):
+    """Synthetic invocation exercising both op kinds on the hot path."""
+    ops = []
+    for i in range(num_mem_ops):
+        ops.append(ComputeOp(int_ops=3, fp_ops=1))
+        ops.append(MemOp(
+            AccessType.STORE if i % 4 == 3 else AccessType.LOAD,
+            (i % blocks) * 64 + (i % 8) * 8))
+    return FunctionTrace(name="perf_smoke", benchmark="perf_smoke",
+                         ops=ops, lease_time=1000)
+
+
+def legacy_iter_run(core, trace, start_time, access_fn, mlp,
+                    issue_interval=1, charge_invocation=True):
+    """The pre-lowering ``AxcCore.iter_run``, replicated verbatim.
+
+    This is the fixed comparison point for the speedup measurement; it
+    must keep paying the historical per-op costs (isinstance dispatch,
+    ``op.block`` property, ``math.ceil`` per ComputeOp, dotted stats
+    adds) so the ratio tracks what lowering actually buys.
+    """
+    mlp = max(1, int(mlp))
+    now = start_time
+    outstanding = []            # heap of completion times
+    fill_time_of = {}           # block -> outstanding completion
+    int_ops = 0
+    fp_ops = 0
+    mem_ops = 0
+    for op in trace.ops:
+        if isinstance(op, ComputeOp):
+            int_ops += op.int_ops
+            fp_ops += op.fp_ops
+            now += max(1, math.ceil(op.total / core.issue_width))
+            continue
+        if not isinstance(op, MemOp):
+            continue
+        mem_ops += 1
+        while outstanding and outstanding[0] <= now:
+            heapq.heappop(outstanding)
+        if len(outstanding) >= mlp:
+            earliest = heapq.heappop(outstanding)
+            if earliest > now:
+                core._core_stats.add("mlp_stall_cycles", earliest - now)
+                now = earliest
+        latency = access_fn(op, now)
+        completion = now + latency
+        pending = fill_time_of.get(op.block)
+        if pending is not None and pending > completion:
+            completion = pending
+            core._core_stats.add("mshr_merges")
+        fill_time_of[op.block] = completion
+        heapq.heappush(outstanding, completion)
+        now += issue_interval
+        yield now
+    if outstanding:
+        now = max(now, max(outstanding))
+    core._core_stats.add("cycles", now - start_time)
+    core._core_stats.add("mem_ops", mem_ops)
+    core._core_stats.add("int_ops", int_ops)
+    core._core_stats.add("fp_ops", fp_ops)
+    return now
+
+
+def legacy_run(core, trace, start_time, access_fn, mlp,
+               issue_interval=1):
+    """Drive :func:`legacy_iter_run` like the pre-lowering ``run`` did."""
+    generator = legacy_iter_run(core, trace, start_time, access_fn, mlp,
+                                issue_interval)
+    while True:
+        try:
+            next(generator)
+        except StopIteration as stop:
+            return stop.value
+
+
+def _flat_access(op, now):
+    return 2
+
+
+def _best_seconds(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_measurement():
+    """Measure legacy vs lowered ops/sec; returns the metrics dict."""
+    trace = make_trace()
+    total_ops = len(trace.ops)
+    core = AxcCore(0, StatsRegistry())
+
+    legacy_end = legacy_run(core, trace, 0, _flat_access, mlp=4)
+    lowered_end = core.run(trace, 0, _flat_access, mlp=4)
+    if legacy_end != lowered_end:
+        raise AssertionError(
+            "semantics drift: legacy end {} != lowered end {}".format(
+                legacy_end, lowered_end))
+
+    legacy_s = _best_seconds(
+        lambda: legacy_run(core, trace, 0, _flat_access, mlp=4))
+    lowered_s = _best_seconds(
+        lambda: core.run(trace, 0, _flat_access, mlp=4))
+    legacy_ops = total_ops / legacy_s
+    lowered_ops = total_ops / lowered_s
+    return {
+        "trace_ops": total_ops,
+        "legacy_ops_per_s": round(legacy_ops),
+        "lowered_ops_per_s": round(lowered_ops),
+        "speedup": round(lowered_ops / legacy_ops, 3),
+    }
+
+
+def measure_grid(size="small"):
+    """Wall time of the full Figure 6 grid (all systems, uncached)."""
+    from repro.common.config import small_config
+    from repro.systems import SYSTEMS
+    from repro.workloads.registry import BENCHMARKS, build_workload
+
+    config = small_config()
+    workloads = {name: build_workload(name, size) for name in BENCHMARKS}
+    start = time.perf_counter()
+    for cls in SYSTEMS.values():
+        for workload in workloads.values():
+            cls(config, workload).run()
+    return {
+        "systems": len(SYSTEMS),
+        "benchmarks": len(workloads),
+        "size": size,
+        "wall_s": round(time.perf_counter() - start, 3),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="measure and (re)write the committed "
+                             "baseline JSON instead of gating")
+    parser.add_argument("--grid", action="store_true",
+                        help="with --write-baseline: also record the "
+                             "Figure 6 small-grid wall time")
+    args = parser.parse_args(argv)
+
+    metrics = run_measurement()
+    print("legacy : {legacy_ops_per_s:>10,} ops/s".format(**metrics))
+    print("lowered: {lowered_ops_per_s:>10,} ops/s".format(**metrics))
+    print("speedup: {speedup:.2f}x (lowered over legacy)".format(**metrics))
+
+    if args.write_baseline:
+        payload = {"micro": metrics, "tolerance": TOLERANCE}
+        if args.grid:
+            payload["fig6_grid"] = measure_grid()
+            print("fig6 {size} grid ({systems} systems x {benchmarks} "
+                  "benchmarks): {wall_s:.2f}s".format(
+                      **payload["fig6_grid"]))
+        BASELINE_PATH.parent.mkdir(exist_ok=True)
+        BASELINE_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+        print("wrote {}".format(BASELINE_PATH))
+        return 0
+
+    try:
+        baseline = json.loads(BASELINE_PATH.read_text())
+    except (OSError, ValueError):
+        print("no baseline at {}; run with --write-baseline".format(
+            BASELINE_PATH), file=sys.stderr)
+        return 2
+    reference = baseline["micro"]["speedup"]
+    floor = reference * (1.0 - baseline.get("tolerance", TOLERANCE))
+    print("baseline speedup {:.2f}x; floor {:.2f}x".format(
+        reference, floor))
+    if metrics["speedup"] < floor:
+        print("FAIL: lowered hot path regressed more than {:.0%} "
+              "vs baseline".format(baseline.get("tolerance", TOLERANCE)),
+              file=sys.stderr)
+        return 1
+    print("OK: lowered hot path within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

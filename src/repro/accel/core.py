@@ -14,14 +14,23 @@ behaviour at trace granularity:
 * the memory system is a caller-provided ``access_fn(op, now) ->
   latency`` closure, so one core model serves every system design.
 
+Hot path: the core never walks the raw heterogeneous ``trace.ops`` list.
+:mod:`repro.workloads.lowering` compiles each trace once into a flat
+stream of ``(mem_op, block)`` / ``(None, latency)`` tuples — adjacent
+compute ops pre-fused, line addresses pre-aligned — and both
+:meth:`AxcCore.run` (tight loop) and :meth:`AxcCore.iter_run`
+(generator, for the pipelined scheduler) interpret that stream with no
+per-op type dispatch.  The two paths are exercised for equivalence by
+``tests/test_lowering.py`` and both are pinned bit-identical to the
+legacy interpreter by ``tests/test_golden_full.py``.
+
 Energy: Aladdin-style activity counts are charged per compute chunk.
 """
 
 import heapq
-import math
 
-from ..common.types import ComputeOp, MemOp
 from ..energy.accel_energy import INVOCATION_OVERHEAD_PJ, compute_energy_pj
+from ..workloads.lowering import lowered_trace
 
 
 class AxcCore:
@@ -32,6 +41,9 @@ class AxcCore:
         self.issue_width = issue_width
         self.stats = stats.scope("axc")
         self._core_stats = stats.scope("axc.core{}".format(axc_id))
+        # Bound counter handles: dotted names resolved once, not per op.
+        self._add_mlp_stall = self._core_stats.counter("mlp_stall_cycles")
+        self._add_mshr_merge = self._core_stats.counter("mshr_merges")
 
     def run(self, trace, start_time, access_fn, mlp, issue_interval=1,
             charge_invocation=True):
@@ -51,13 +63,44 @@ class AxcCore:
                 continuation windows of one invocation — the datapath
                 stays configured across DMA windows.
         """
-        generator = self.iter_run(trace, start_time, access_fn, mlp,
-                                  issue_interval, charge_invocation)
-        while True:
-            try:
-                next(generator)
-            except StopIteration as stop:
-                return stop.value
+        mlp = max(1, int(mlp))
+        lowered = lowered_trace(trace, self.issue_width)
+        now = start_time
+        outstanding = []            # heap of completion times
+        fill_time_of = {}           # block -> outstanding completion
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        pending_fill = fill_time_of.get
+        add_mlp_stall = self._add_mlp_stall
+        add_mshr_merge = self._add_mshr_merge
+        for op, arg in lowered.steps:
+            if op is None:          # fused compute chunk
+                now += arg
+                continue
+            # Retire fills that have arrived.
+            while outstanding and outstanding[0] <= now:
+                heappop(outstanding)
+            # MLP limit: wait for the earliest outstanding fill.
+            if len(outstanding) >= mlp:
+                earliest = heappop(outstanding)
+                if earliest > now:
+                    add_mlp_stall(earliest - now)
+                    now = earliest
+            latency = access_fn(op, now)
+            completion = now + latency
+            # MSHR merge: an access cannot complete before an
+            # already-outstanding fill of the same block.
+            pending = pending_fill(arg)
+            if pending is not None and pending > completion:
+                completion = pending
+                add_mshr_merge()
+            fill_time_of[arg] = completion
+            heappush(outstanding, completion)
+            now += issue_interval  # issue slot(s)
+        if outstanding:
+            now = max(now, max(outstanding))
+        self._record(lowered, now - start_time, charge_invocation)
+        return now
 
     def iter_run(self, trace, start_time, access_fn, mlp,
                  issue_interval=1, charge_invocation=True):
@@ -66,56 +109,48 @@ class AxcCore:
         invocations on one tile (pipelined execution).  The generator's
         return value is the completion time."""
         mlp = max(1, int(mlp))
+        lowered = lowered_trace(trace, self.issue_width)
         now = start_time
-        outstanding = []            # heap of completion times
-        fill_time_of = {}           # block -> outstanding completion
-        int_ops = 0
-        fp_ops = 0
-        mem_ops = 0
-        for op in trace.ops:
-            if isinstance(op, ComputeOp):
-                int_ops += op.int_ops
-                fp_ops += op.fp_ops
-                now += max(1, math.ceil(op.total / self.issue_width))
+        outstanding = []
+        fill_time_of = {}
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        pending_fill = fill_time_of.get
+        add_mlp_stall = self._add_mlp_stall
+        add_mshr_merge = self._add_mshr_merge
+        for op, arg in lowered.steps:
+            if op is None:
+                now += arg
                 continue
-            if not isinstance(op, MemOp):
-                continue
-            mem_ops += 1
-            # Retire fills that have arrived.
             while outstanding and outstanding[0] <= now:
-                heapq.heappop(outstanding)
-            # MLP limit: wait for the earliest outstanding fill.
+                heappop(outstanding)
             if len(outstanding) >= mlp:
-                earliest = heapq.heappop(outstanding)
+                earliest = heappop(outstanding)
                 if earliest > now:
-                    self._core_stats.add("mlp_stall_cycles", earliest - now)
+                    add_mlp_stall(earliest - now)
                     now = earliest
             latency = access_fn(op, now)
             completion = now + latency
-            # MSHR merge: an access cannot complete before an
-            # already-outstanding fill of the same block.
-            pending = fill_time_of.get(op.block)
+            pending = pending_fill(arg)
             if pending is not None and pending > completion:
                 completion = pending
-                self._core_stats.add("mshr_merges")
-            fill_time_of[op.block] = completion
-            heapq.heappush(outstanding, completion)
-            now += issue_interval  # issue slot(s)
+                add_mshr_merge()
+            fill_time_of[arg] = completion
+            heappush(outstanding, completion)
+            now += issue_interval
             yield now
         if outstanding:
             now = max(now, max(outstanding))
-        self._record(trace, now - start_time, int_ops, fp_ops, mem_ops,
-                     charge_invocation)
+        self._record(lowered, now - start_time, charge_invocation)
         return now
 
-    def _record(self, trace, cycles, int_ops, fp_ops, mem_ops,
-                charge_invocation=True):
-        energy = compute_energy_pj(int_ops, fp_ops)
+    def _record(self, lowered, cycles, charge_invocation=True):
+        energy = compute_energy_pj(lowered.int_ops, lowered.fp_ops)
         if charge_invocation:
             energy += INVOCATION_OVERHEAD_PJ
             self.stats.add("invocations")
         self.stats.add("compute.energy_pj", energy)
         self._core_stats.add("cycles", cycles)
-        self._core_stats.add("mem_ops", mem_ops)
-        self._core_stats.add("int_ops", int_ops)
-        self._core_stats.add("fp_ops", fp_ops)
+        self._core_stats.add("mem_ops", lowered.mem_ops)
+        self._core_stats.add("int_ops", lowered.int_ops)
+        self._core_stats.add("fp_ops", lowered.fp_ops)

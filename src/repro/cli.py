@@ -12,6 +12,7 @@ Examples::
     fusion-sim --jobs 4 experiment all --size full
     fusion-sim --no-cache run FUSION fft --size small
     fusion-sim cache stats
+    fusion-sim profile FUSION fft --size small --top 20
 """
 
 import argparse
@@ -164,21 +165,59 @@ def _cmd_config(_args):
     return 0
 
 
+def _cmd_profile(args):
+    """cProfile one uncached simulation and print the hottest functions.
+
+    Bypasses the result cache and the engine entirely — the point is to
+    see where a *fresh* simulation spends its time.  The workload build
+    (kernel generators, DDG analysis, lowering) runs before the profiler
+    starts so the report shows the simulation hot path, unless
+    ``--include-build`` asks for the whole pipeline.
+    """
+    import cProfile
+    import pstats
+
+    config = load_config(args.config) if args.config else small_config()
+    profiler = cProfile.Profile()
+    if args.include_build:
+        profiler.enable()
+        workload = build_workload(args.benchmark, args.size)
+        system = SYSTEMS[args.system](config, workload)
+        result = system.run()
+        profiler.disable()
+    else:
+        workload = build_workload(args.benchmark, args.size)
+        system = SYSTEMS[args.system](config, workload)
+        profiler.enable()
+        result = system.run()
+        profiler.disable()
+    print("{} on {} (size={}): accel {} cycles, total {} cycles".format(
+        args.system, args.benchmark, args.size, result.accel_cycles,
+        result.total_cycles))
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.top)
+    return 0
+
+
 def _cmd_cache(args):
     engine = engine_mod.get_engine()
     cache = engine.cache
     if args.action == "clear":
         removed = cache.clear()
-        print("removed {} cached result(s) from {}".format(
-            removed, cache.root))
+        print("removed {} cached file(s) (results + prepared traces) "
+              "from {}".format(removed, cache.root))
         return 0
     entries, total_bytes = cache.disk_stats()
+    trace_entries, trace_bytes = cache.trace_stats()
     print("cache dir      : {}".format(cache.root))
     print("enabled        : {}".format("yes" if cache.enabled else
                                        "no (REPRO_NO_CACHE)"))
     print("schema version : {}".format(engine_mod.CACHE_SCHEMA_VERSION))
     print("entries        : {} ({:.1f} kB)".format(
         entries, total_bytes / 1024.0))
+    print("trace entries  : {} ({:.1f} kB prepared workloads)".format(
+        trace_entries, trace_bytes / 1024.0))
     session = engine.load_session_stats()
     if session and "telemetry" in session:
         t = session["telemetry"]
@@ -268,6 +307,24 @@ def build_parser():
 
     cfg_p = sub.add_parser("config", help="print Table 2 parameters")
     cfg_p.set_defaults(func=_cmd_config)
+
+    prof_p = sub.add_parser("profile",
+                            help="cProfile one uncached simulation and "
+                                 "print the hottest functions")
+    prof_p.add_argument("system", choices=sorted(SYSTEMS))
+    prof_p.add_argument("benchmark", choices=BENCHMARKS)
+    add_size(prof_p)
+    prof_p.add_argument("--top", type=int, default=25, metavar="N",
+                        help="rows of the profile report (default 25)")
+    prof_p.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime", "calls"),
+                        help="pstats sort order (default cumulative)")
+    prof_p.add_argument("--include-build", action="store_true",
+                        help="profile workload construction and "
+                             "lowering too, not just the simulation")
+    prof_p.add_argument("--config", default=None,
+                        help="JSON config-override file")
+    prof_p.set_defaults(func=_cmd_profile)
 
     cache_p = sub.add_parser("cache",
                              help="persistent result-cache maintenance")

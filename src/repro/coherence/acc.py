@@ -30,7 +30,8 @@ lease epoch, not which L0X holds it.
 
 from ..common.config import WritePolicy
 from ..common.errors import ProtocolError
-from ..common.types import block_address
+from ..common.types import AccessType, block_address
+from ..common.units import LINE_SIZE
 from ..energy import cacti
 from ..mem.banking import BankContention
 from ..mem.cache import SetAssocCache
@@ -41,6 +42,10 @@ from .messages import Msg, send
 
 #: L0X -> L1X one-way wire latency inside the tile, cycles.
 TILE_LINK_LATENCY = 1
+
+#: Hot-path constants: line alignment matches ``MemOp.block`` exactly.
+_BLOCK_MASK = ~(LINE_SIZE - 1)
+_STORE = AccessType.STORE
 
 
 class AccL1XController:
@@ -72,6 +77,10 @@ class AccL1XController:
         self._read_energy = cacti.cache_access_energy_pj(self.config)
         self._write_energy = cacti.cache_access_energy_pj(
             self.config, is_store=True)
+        self._add_accesses = self.stats.counter("accesses")
+        self._add_energy = self.stats.counter("energy_pj")
+        self._add_hits = self.stats.counter("hits")
+        self._add_misses = self.stats.counter("misses")
 
     @property
     def tlb(self):
@@ -86,9 +95,9 @@ class AccL1XController:
     # -- energy helpers ----------------------------------------------------
 
     def _charge(self, is_store=False):
-        self.stats.add("accesses")
-        self.stats.add("energy_pj",
-                       self._write_energy if is_store else self._read_energy)
+        self._add_accesses()
+        self._add_energy(self._write_energy if is_store
+                         else self._read_energy)
 
     # -- the ACC epoch interface (L0X side) --------------------------------
 
@@ -107,7 +116,7 @@ class AccL1XController:
         with another process's tag is a miss (and is retired first) —
         cross-process sharing is not supported (Appendix).
         """
-        vblock = block_address(vblock)
+        vblock = vblock & _BLOCK_MASK
         self._charge(is_store=is_write)
         latency = self.config.hit_latency
         if self.banks is not None:
@@ -123,9 +132,9 @@ class AccL1XController:
             stall = self._write_epoch_stall(line, now)
             latency += stall
             epoch_end = self._grant(line, now + stall, lease, is_write)
-            self.stats.add("hits")
+            self._add_hits()
             return latency, epoch_end
-        self.stats.add("misses")
+        self._add_misses()
         latency += self._fill(vblock, now + latency, pid)
         line = self.cache.lookup(vblock)
         epoch_end = self._grant(line, now + latency, lease, is_write)
@@ -286,6 +295,19 @@ class AccL0XController:
             self.config, is_store=True)
         self._write_through = (
             self.config.write_policy is WritePolicy.WRITE_THROUGH)
+        # Hot-path constants: bound counter handles, the set-index
+        # shift/mask (line size and set count are powers of two) and a
+        # flag that lets the access path skip the lease-policy call
+        # entirely for the paper's fixed policy (``lease_for`` is the
+        # identity there and ignores the set index).
+        self._add_accesses = self.stats.counter("accesses")
+        self._add_hits = self.stats.counter("hits")
+        self._add_misses = self.stats.counter("misses")
+        self._add_energy = self.shared_stats.counter("energy_pj")
+        self._set_shift = self.config.line_size.bit_length() - 1
+        self._set_mask = self.config.num_sets - 1
+        self._fixed_lease = type(self.lease_policy) is FixedLeasePolicy
+        self._hit_latency = self.config.hit_latency
         #: FUSION-Dx: ``(l0x, line, now) -> bool`` called on every dirty
         #: self-downgrade; returning True means the line was forwarded to
         #: a consumer L0X instead of written back.  ``None`` disables
@@ -302,9 +324,9 @@ class AccL0XController:
     # -- energy helpers ----------------------------------------------------
 
     def _charge(self, is_store=False):
-        self.stats.add("accesses")
-        energy = self._write_energy if is_store else self._read_energy
-        self.shared_stats.add("energy_pj", energy)
+        self._add_accesses()
+        self._add_energy(self._write_energy if is_store
+                         else self._read_energy)
 
     def _valid(self, line, now):
         """ACC validity check: the lease is the invalidation."""
@@ -319,31 +341,39 @@ class AccL0XController:
         ``lease`` is the function's configured lease; the controller's
         lease policy (fixed by default, adaptive as an extension) may
         scale it per cache set.
+
+        This is the single hottest method of a FUSION simulation (one
+        call per accelerator memory op), so the hit path is written
+        against the precomputed constants from ``__init__``.
         """
-        vblock = op.block
-        is_store = op.is_store
-        lease = self.lease_policy.lease_for(
-            self.config.set_index(vblock), lease)
-        self._charge(is_store)
-        latency = self.config.hit_latency
+        vblock = op.addr & _BLOCK_MASK
+        is_store = op.kind is _STORE
+        if not self._fixed_lease:
+            lease = self.lease_policy.lease_for(
+                (vblock >> self._set_shift) & self._set_mask, lease)
+        self._add_accesses()
+        self._add_energy(self._write_energy if is_store
+                         else self._read_energy)
+        latency = self._hit_latency
         line = self.cache.lookup(vblock)
-        if self._valid(line, now):
-            if is_store and line.state != "W":
-                # Upgrade: a read lease does not permit writes.
-                latency += self._upgrade(line, now + latency, lease)
+        if line is not None and line.lease is not None and \
+                line.lease > now:
             if is_store:
+                if line.state != "W":
+                    # Upgrade: a read lease does not permit writes.
+                    latency += self._upgrade(line, now + latency, lease)
                 latency += self._record_store(line, now + latency)
-            self.stats.add("hits")
+            self._add_hits()
             return latency
         if vblock in self._incoming_forwards:
             latency += self._accept_forward(vblock, now + latency, lease)
-            self.stats.add("hits")
+            self._add_hits()
             self.stats.add("forward_hits")
             if is_store:
                 latency += self._record_store(
                     self.cache.lookup(vblock), now + latency)
             return latency
-        self.stats.add("misses")
+        self._add_misses()
         latency += self._miss(vblock, now + latency, lease, is_store)
         if is_store:
             line = self.cache.lookup(vblock)

@@ -55,6 +55,19 @@ class HostMemorySystem:
                               stats)
         self._l1_energy = cacti.cache_access_energy_pj(host.l1)
         self._l2_energy = cacti.llc_bank_access_energy_pj(host)
+        # Bound counter handles for the per-access paths (fetch_for_tile
+        # and tile_writeback run once per L1X miss/eviction in every
+        # cache-based design, so the L2 counters are genuinely hot).
+        self._l1_hit_latency = host.l1.hit_latency
+        self._add_l1_accesses = self.l1_stats.counter("accesses")
+        self._add_l1_energy = self.l1_stats.counter("energy_pj")
+        self._add_l1_hits = self.l1_stats.counter("hits")
+        self._add_l1_misses = self.l1_stats.counter("misses")
+        self._add_l2_accesses = self.l2_stats.counter("accesses")
+        self._add_l2_writes = self.l2_stats.counter("writes")
+        self._add_l2_energy = self.l2_stats.counter("energy_pj")
+        self._add_l2_hits = self.l2_stats.counter("hits")
+        self._add_l2_misses = self.l2_stats.counter("misses")
         #: Registered tile agents by name; the common single-tile case
         #: uses the ``tile_agent`` property (name "tile").
         self.tile_agents = {}
@@ -77,17 +90,16 @@ class HostMemorySystem:
     # ------------------------------------------------------------------
 
     def _l1_access(self, is_store):
-        self.l1_stats.add("accesses")
-        self.l1_stats.add("energy_pj", self._l1_energy)
-        return self.config.host.l1.hit_latency if not is_store else (
-            self.config.host.l1.hit_latency)
+        self._add_l1_accesses()
+        self._add_l1_energy(self._l1_energy)
+        return self._l1_hit_latency
 
     def _l2_access(self, block, is_store=False):
         """One L2 bank access including the NUCA ring traversal."""
-        self.l2_stats.add("accesses")
+        self._add_l2_accesses()
         if is_store:
-            self.l2_stats.add("writes")
-        self.l2_stats.add("energy_pj", self._l2_energy)
+            self._add_l2_writes()
+        self._add_l2_energy(self._l2_energy)
         return self.ring.traverse(block)
 
     # ------------------------------------------------------------------
@@ -97,9 +109,9 @@ class HostMemorySystem:
     def _ensure_l2(self, block, now):
         """Make ``block`` resident in the L2; returns added latency."""
         if self.l2.contains(block):
-            self.l2_stats.add("hits")
+            self._add_l2_hits()
             return 0
-        self.l2_stats.add("misses")
+        self._add_l2_misses()
         latency = self.dram.access(block)
         victim = self.l2.insert(block)
         if victim is not None:
@@ -171,9 +183,9 @@ class HostMemorySystem:
         block = block_address(paddr)
         latency = self._l1_access(is_store=False)
         if self.l1.contains(block):
-            self.l1_stats.add("hits")
+            self._add_l1_hits()
             return latency
-        self.l1_stats.add("misses")
+        self._add_l1_misses()
         latency += self._l2_access(block)
         latency += self._ensure_l2(block, now)
         latency += self._forward_to_all_tiles(block, now, is_store=False)
@@ -190,9 +202,9 @@ class HostMemorySystem:
         if line is not None and line.state in ("M", "E"):
             line.dirty = True
             line.state = "M"
-            self.l1_stats.add("hits")
+            self._add_l1_hits()
             return latency
-        self.l1_stats.add("misses")
+        self._add_l1_misses()
         latency += self._l2_access(block)
         latency += self._ensure_l2(block, now)
         latency += self._forward_to_all_tiles(block, now, is_store=True)

@@ -64,6 +64,11 @@ DATA_MESSAGES = frozenset({
 })
 
 
+#: Per-message lowercase counter suffix, precomputed once — ``send`` is
+#: called for every coherence transition in the system.
+_COUNTER_SUFFIX = {msg: msg.name.lower() for msg in Msg}
+
+
 def size_of(msg):
     """Return the size in bytes of one message of type ``msg``."""
     return MSG_SIZE[msg]
@@ -76,9 +81,9 @@ def is_data(msg):
 
 def send(link, msg, stats=None, counter_prefix=None):
     """Send one message over ``link`` with correct msg/data accounting."""
-    if is_data(msg):
-        link.send_data(size_of(msg))
+    if msg in DATA_MESSAGES:
+        link.send_data(MSG_SIZE[msg])
     else:
-        link.send_msg(size_of(msg))
+        link.send_msg(MSG_SIZE[msg])
     if stats is not None and counter_prefix is not None:
-        stats.add("{}.{}".format(counter_prefix, msg.name.lower()))
+        stats.add(counter_prefix + "." + _COUNTER_SUFFIX[msg])

@@ -9,7 +9,8 @@ per-access latency and energy than a small private cache, which is
 exactly the tradeoff Lessons 1-3 quantify.
 """
 
-from ..common.types import block_address
+from ..common.types import AccessType
+from ..common.units import LINE_SIZE
 from ..energy import cacti
 from ..mem.banking import BankContention
 from ..mem.cache import SetAssocCache
@@ -17,6 +18,9 @@ from .messages import Msg, send
 
 #: AXC -> shared L1X switch traversal, one way, cycles.
 SWITCH_LATENCY = 1
+
+_BLOCK_MASK = ~(LINE_SIZE - 1)
+_STORE = AccessType.STORE
 
 #: Memory-op issue interval in the SHARED design: the request flit and
 #: the response flit of every access serialise on the tile switch, so an
@@ -42,11 +46,20 @@ class SharedL1XController:
         self._write_energy = cacti.cache_access_energy_pj(
             self.config, is_store=True)
         self.axc_link = None  # attached by the system
+        # Hot-path bindings: counter handles plus the set-index shift/mask
+        # (line size and set count are powers of two by config validation).
+        self._add_accesses = self.stats.counter("accesses")
+        self._add_energy = self.stats.counter("energy_pj")
+        self._add_hits = self.stats.counter("hits")
+        self._add_misses = self.stats.counter("misses")
+        self._set_shift = self.config.line_size.bit_length() - 1
+        self._set_mask = self.config.num_sets - 1
+        self._base_latency = SWITCH_LATENCY + self.config.hit_latency
 
     def _charge(self, is_store=False):
-        self.stats.add("accesses")
-        self.stats.add("energy_pj",
-                       self._write_energy if is_store else self._read_energy)
+        self._add_accesses()
+        self._add_energy(self._write_energy if is_store else
+                         self._read_energy)
 
     def access(self, op, now):
         """Serve one accelerator operation across the tile switch.
@@ -55,22 +68,25 @@ class SharedL1XController:
         the AXC<->L1X link — the pull-based overhead the FUSION L0X
         exists to filter (Figure 6c).
         """
-        pblock = block_address(self.page_table.translate(op.addr))
-        send(self.axc_link, Msg.GETS if not op.is_store else Msg.GETX,
+        is_store = op.kind is _STORE
+        pblock = self.page_table.translate(op.addr) & _BLOCK_MASK
+        send(self.axc_link, Msg.GETX if is_store else Msg.GETS,
              self.stats, "req")
-        latency = SWITCH_LATENCY + self.config.hit_latency
+        latency = self._base_latency
         if self.banks is not None:
-            latency += self.banks.access(self.config.set_index(pblock),
-                                         now)
-        self._charge(op.is_store)
+            latency += self.banks.access(
+                (pblock >> self._set_shift) & self._set_mask, now)
+        self._add_accesses()
+        self._add_energy(self._write_energy if is_store else
+                         self._read_energy)
         line = self.cache.lookup(pblock)
         if line is None:
-            self.stats.add("misses")
+            self._add_misses()
             latency += self._fill(pblock, now + latency)
             line = self.cache.lookup(pblock)
         else:
-            self.stats.add("hits")
-        if op.is_store:
+            self._add_hits()
+        if is_store:
             line.dirty = True
             line.state = "M"
             send(self.axc_link, Msg.WT_DATA, self.stats, "store_data")

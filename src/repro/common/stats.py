@@ -5,6 +5,15 @@ Every component of the simulator records counts into a shared
 ``"link.l0x_l1x.msg_bytes"``).  The registry supports scoped views,
 snapshots, diffs and merging — the experiment layer uses diffs to separate
 per-function from whole-run statistics.
+
+Hot-path contract: :meth:`StatsRegistry.counter` (and
+:meth:`StatsScope.counter`) return a *bound handle* — a callable closed
+over the fully-qualified counter name and the live counter map — so
+per-access code paths (ACC/MESI controllers, :class:`repro.accel.core.
+AxcCore`, the links) resolve dotted names once at construction instead
+of re-formatting ``"{prefix}.{name}"`` on every increment.  A handle
+created before :meth:`clear` stays valid afterwards (the counter map is
+cleared in place, never replaced).
 """
 
 from collections import defaultdict
@@ -19,6 +28,22 @@ class StatsRegistry:
     def add(self, name, amount=1):
         """Increment counter ``name`` by ``amount``."""
         self._counters[name] += amount
+
+    def counter(self, name):
+        """Return a bound increment handle for counter ``name``.
+
+        The handle is ``handle(amount=1)``; calling it is equivalent to
+        :meth:`add` with the name pre-resolved.  Creating a handle does
+        *not* materialise the counter — it first appears (as with
+        :meth:`add`) on the first increment.
+        """
+        counters = self._counters
+
+        def handle(amount=1):
+            counters[name] += amount
+
+        handle.counter_name = name
+        return handle
 
     def get(self, name, default=0):
         """Return the value of counter ``name`` (``default`` if absent)."""
@@ -60,14 +85,19 @@ class StatsRegistry:
             self._counters[name] += value
 
     def total(self, prefix):
-        """Sum of every counter whose name starts with ``prefix``."""
-        if not prefix.endswith("."):
-            prefix_dot = prefix + "."
-        else:
-            prefix_dot = prefix
-        total = self._counters.get(prefix.rstrip("."), 0)
+        """Sum of the ``prefix`` counter itself plus every counter under
+        ``prefix.``.
+
+        The exact-name counter is counted exactly once, and sibling
+        prefixes never match: ``total("l1x")`` sums ``"l1x"`` and
+        ``"l1x.hits"`` but not ``"l1x_other.x"`` (the dot boundary is
+        required) — see the regression tests in ``tests/test_stats.py``.
+        """
+        exact = prefix.rstrip(".")
+        prefix_dot = exact + "."
+        total = 0
         for name, value in self._counters.items():
-            if name.startswith(prefix_dot):
+            if name == exact or name.startswith(prefix_dot):
                 total += value
         return total
 
@@ -79,6 +109,8 @@ class StatsRegistry:
                 if name.startswith(prefix_dot)}
 
     def clear(self):
+        # In-place clear: bound counter handles keep referencing the
+        # live map and stay valid.
         self._counters.clear()
 
     def __contains__(self, name):
@@ -89,17 +121,34 @@ class StatsRegistry:
 
 
 class StatsScope:
-    """A view of a :class:`StatsRegistry` under a fixed name prefix."""
+    """A view of a :class:`StatsRegistry` under a fixed name prefix.
+
+    Qualified names are cached per scope, so repeat :meth:`add` calls on
+    the same counter skip the string formatting entirely.
+    """
 
     def __init__(self, registry, prefix):
         self._registry = registry
         self._prefix = prefix.rstrip(".")
+        self._qualified = {}
 
     def _qualify(self, name):
-        return "{}.{}".format(self._prefix, name)
+        qualified = self._qualified.get(name)
+        if qualified is None:
+            qualified = self._prefix + "." + name
+            self._qualified[name] = qualified
+        return qualified
+
+    def counter(self, name):
+        """Return a bound increment handle for the scoped counter."""
+        return self._registry.counter(self._qualify(name))
 
     def add(self, name, amount=1):
-        self._registry.add(self._qualify(name), amount)
+        qualified = self._qualified.get(name)
+        if qualified is None:
+            qualified = self._prefix + "." + name
+            self._qualified[name] = qualified
+        self._registry.add(qualified, amount)
 
     def get(self, name, default=0):
         return self._registry.get(self._qualify(name), default)

@@ -13,9 +13,12 @@ on request-message energy (it is push-based; Lesson 4).
 
 from dataclasses import dataclass, field
 
-from ..common.types import MemOp
+from ..common.types import AccessType, FunctionTrace, MemOp
 from ..common.units import LINE_SIZE
 from ..energy import cacti
+
+_BLOCK_MASK = ~(LINE_SIZE - 1)
+_STORE = AccessType.STORE
 
 
 @dataclass
@@ -26,6 +29,11 @@ class DmaWindow:
     blocks: set = field(default_factory=set)
     in_blocks: list = field(default_factory=list)
     out_blocks: list = field(default_factory=list)
+    #: Read-only :class:`FunctionTrace` covering exactly this window's
+    #: ops, built once by :func:`windows_for` so repeated invocations of
+    #: the same kernel reuse one trace object (and therefore one lowered
+    #: form) per window.
+    trace: object = None
 
 
 def partition_windows(trace, capacity_blocks):
@@ -60,11 +68,32 @@ def partition_windows(trace, capacity_blocks):
     return windows
 
 
+def windows_for(trace, capacity_blocks):
+    """Memoised :func:`partition_windows` keyed by scratchpad capacity.
+
+    Traces are read-only by contract once built, and the window split is
+    a pure function of ``(trace, capacity_blocks)``, so the result is
+    cached on the trace object itself — mirroring how lowered traces are
+    memoised — and each window gets a reusable :class:`FunctionTrace`.
+    """
+    cache = trace.__dict__.get("_dma_windows")
+    if cache is None:
+        cache = trace.__dict__["_dma_windows"] = {}
+    windows = cache.get(capacity_blocks)
+    if windows is None:
+        windows = partition_windows(trace, capacity_blocks)
+        for window in windows:
+            window.trace = FunctionTrace(
+                name=trace.name, benchmark=trace.benchmark,
+                ops=window.ops, lease_time=trace.lease_time)
+        cache[capacity_blocks] = windows
+    return windows
+
+
 def _finalize(window, first_access):
-    from ..common.types import AccessType
     stored = set()
     for op in window.ops:
-        if isinstance(op, MemOp) and op.is_store:
+        if isinstance(op, MemOp) and op.kind is _STORE:
             stored.add(op.block)
     window.in_blocks = sorted(
         block for block, kind in first_access.items()
@@ -137,15 +166,17 @@ class ScratchpadAccessModel:
             config.tile.scratchpad)
         self._write_energy = cacti.scratchpad_access_energy_pj(
             config.tile.scratchpad, is_store=True)
+        self._add_accesses = self.stats.counter("accesses")
+        self._add_energy = self.stats.counter("energy_pj")
 
     def access(self, op, now):
-        if op.is_store and not self.scratchpad.contains(op.addr):
+        is_store = op.kind is _STORE
+        if is_store and not self.scratchpad.contains(op.addr):
             # Write-first blocks need no DMA staging, just allocation;
             # the oracle window sizing guarantees the space exists.
-            self.scratchpad.fill(op.block)
-        self.scratchpad.access(op.addr, op.is_store)
-        self.stats.add("accesses")
-        self.stats.add(
-            "energy_pj",
-            self._write_energy if op.is_store else self._read_energy)
+            self.scratchpad.fill(op.addr & _BLOCK_MASK)
+        self.scratchpad.access(op.addr, is_store)
+        self._add_accesses()
+        self._add_energy(self._write_energy if is_store else
+                         self._read_energy)
         return self.latency

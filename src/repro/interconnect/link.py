@@ -10,9 +10,13 @@ Each link separately tracks control *messages* (requests, acks, eviction
 notices — Figure 6c's MSG series) and *data* transfers (Figure 6c's DATA
 series), because Lesson 4 is precisely that pull-based request messages
 can squander the energy a cache hierarchy saves.
+
+Every coherence transition crosses a link, so the four counters each
+transfer touches use bound handles (names resolved once at link
+construction) rather than per-call dotted-name formatting.
 """
 
-from ..common.units import CONTROL_MSG_SIZE, bytes_to_flits
+from ..common.units import CONTROL_MSG_SIZE, FLIT_SIZE
 
 
 class Link:
@@ -22,20 +26,28 @@ class Link:
         self.name = name
         self.pj_per_byte = pj_per_byte
         self.stats = stats.scope("link." + name)
+        scope = self.stats
+        self._add_msgs = scope.counter("msgs")
+        self._add_msg_bytes = scope.counter("msg_bytes")
+        self._add_msg_energy = scope.counter("msg_energy_pj")
+        self._add_data_transfers = scope.counter("data_transfers")
+        self._add_data_bytes = scope.counter("data_bytes")
+        self._add_data_energy = scope.counter("data_energy_pj")
+        self._add_flits = scope.counter("flits")
 
     def send_msg(self, num_bytes=CONTROL_MSG_SIZE):
         """Transfer one control message (request/ack/eviction notice)."""
-        self.stats.add("msgs")
-        self.stats.add("msg_bytes", num_bytes)
-        self.stats.add("flits", bytes_to_flits(num_bytes))
-        self.stats.add("msg_energy_pj", num_bytes * self.pj_per_byte)
+        self._add_msgs()
+        self._add_msg_bytes(num_bytes)
+        self._add_flits((num_bytes + FLIT_SIZE - 1) // FLIT_SIZE)
+        self._add_msg_energy(num_bytes * self.pj_per_byte)
 
     def send_data(self, num_bytes):
         """Transfer a data payload (word response, line fill, writeback)."""
-        self.stats.add("data_transfers")
-        self.stats.add("data_bytes", num_bytes)
-        self.stats.add("flits", bytes_to_flits(num_bytes))
-        self.stats.add("data_energy_pj", num_bytes * self.pj_per_byte)
+        self._add_data_transfers()
+        self._add_data_bytes(num_bytes)
+        self._add_flits((num_bytes + FLIT_SIZE - 1) // FLIT_SIZE)
+        self._add_data_energy(num_bytes * self.pj_per_byte)
 
     @property
     def total_energy_pj(self):

@@ -5,15 +5,18 @@ array, accelerator L0X and shared L1X.  Coherence protocols layer their
 state on top of :class:`CacheLine` fields (``state`` for MESI,
 ``lease``/``gtime`` for ACC) rather than subclassing, keeping the
 mechanical parts (indexing, LRU, eviction) in one tested place.
+
+This sits on the per-access hot path of every simulation, so the
+mechanics are deliberately low-level: :class:`CacheLine` is a
+``__slots__`` class (no dataclass machinery), and the line mask / set
+shift are precomputed at construction so :meth:`lookup` does two integer
+ops and one dict probe instead of chasing ``config`` attributes (the
+``num_sets`` *property* re-divides on every call).
 """
 
-from dataclasses import dataclass, field
-
 from ..common.errors import SimulationError
-from ..common.types import block_address
 
 
-@dataclass
 class CacheLine:
     """One cache line's bookkeeping state.
 
@@ -33,15 +36,28 @@ class CacheLine:
             (L1X only; ``None`` for physically-indexed caches).
     """
 
-    block: int
-    dirty: bool = False
-    pid: int = 0
-    state: str = "V"
-    lease: int = None
-    gtime: int = None
-    write_epoch_end: int = None
-    paddr: int = None
-    last_use: int = 0
+    __slots__ = ("block", "dirty", "pid", "state", "lease", "gtime",
+                 "write_epoch_end", "paddr", "last_use")
+
+    def __init__(self, block, dirty=False, pid=0, state="V", lease=None,
+                 gtime=None, write_epoch_end=None, paddr=None, last_use=0):
+        self.block = block
+        self.dirty = dirty
+        self.pid = pid
+        self.state = state
+        self.lease = lease
+        self.gtime = gtime
+        self.write_epoch_end = write_epoch_end
+        self.paddr = paddr
+        self.last_use = last_use
+
+    def __repr__(self):
+        return ("CacheLine(block={:#x}, dirty={}, pid={}, state={!r}, "
+                "lease={}, gtime={}, write_epoch_end={}, paddr={}, "
+                "last_use={})").format(
+                    self.block, self.dirty, self.pid, self.state,
+                    self.lease, self.gtime, self.write_epoch_end,
+                    self.paddr, self.last_use)
 
 
 class SetAssocCache:
@@ -57,11 +73,17 @@ class SetAssocCache:
         self.name = name
         self._sets = [dict() for _ in range(config.num_sets)]
         self._use_clock = 0
+        # Hot-path constants (line size and set count are powers of two,
+        # enforced by CacheConfig validation).
+        self._block_mask = ~(config.line_size - 1)
+        self._set_shift = config.line_size.bit_length() - 1
+        self._set_mask = config.num_sets - 1
+        self._ways = config.ways
 
     # -- indexing ---------------------------------------------------------
 
     def _set_for(self, addr):
-        return self._sets[self.config.set_index(addr)]
+        return self._sets[(addr >> self._set_shift) & self._set_mask]
 
     def _tick(self):
         self._use_clock += 1
@@ -75,10 +97,11 @@ class SetAssocCache:
         ``touch`` updates LRU state; pass ``False`` for protocol probes
         that must not perturb replacement (e.g. forwarded-request checks).
         """
-        block = block_address(addr, self.config.line_size)
-        line = self._set_for(addr).get(block)
+        line = self._sets[(addr >> self._set_shift) & self._set_mask].get(
+            addr & self._block_mask)
         if line is not None and touch:
-            line.last_use = self._tick()
+            self._use_clock = clock = self._use_clock + 1
+            line.last_use = clock
         return line
 
     def contains(self, addr):
@@ -106,16 +129,17 @@ class SetAssocCache:
         Raises if the line is already resident — callers must use
         :meth:`lookup` first; double-insertion indicates a protocol bug.
         """
-        block = block_address(addr, self.config.line_size)
-        cache_set = self._set_for(addr)
+        block = addr & self._block_mask
+        cache_set = self._sets[(addr >> self._set_shift) & self._set_mask]
         if block in cache_set:
             raise SimulationError(
                 "{}: double insert of block {:#x}".format(self.name, block))
         victim = None
-        if len(cache_set) >= self.config.ways:
+        if len(cache_set) >= self._ways:
             victim = self._evict_lru(cache_set)
-        line = CacheLine(block=block, last_use=self._tick(), **line_fields)
-        cache_set[block] = line
+        self._use_clock = clock = self._use_clock + 1
+        cache_set[block] = CacheLine(block=block, last_use=clock,
+                                     **line_fields)
         return victim
 
     def _evict_lru(self, cache_set):
@@ -124,8 +148,7 @@ class SetAssocCache:
 
     def invalidate(self, addr):
         """Remove ``addr``'s line, returning it (or ``None`` if absent)."""
-        block = block_address(addr, self.config.line_size)
-        return self._set_for(addr).pop(block, None)
+        return self._set_for(addr).pop(addr & self._block_mask, None)
 
     def invalidate_all(self):
         """Flush every line, returning the list of removed lines."""

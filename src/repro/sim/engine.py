@@ -42,6 +42,8 @@ from functools import lru_cache
 from ..common.config import config_fingerprint, small_config
 from ..common.errors import ConfigError
 from ..systems import SYSTEMS
+from ..workloads.characterize import function_mlp
+from ..workloads.lowering import LOWERING_VERSION, lower_workload
 from ..workloads.registry import build_workload
 
 #: Bump when the cache entry layout (not the simulated models — those
@@ -131,23 +133,91 @@ def cache_key(request, epoch=0):
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def _execute(request):
-    """Run one simulation point from scratch (no caching).
+def trace_cache_key(benchmark, size, epoch=0):
+    """Content-hash key for one prepared (lowered) workload.
+
+    Keyed by the code fingerprint (kernel generators and the lowering
+    pass both live in the package) plus :data:`LOWERING_VERSION`, so a
+    lowering format change invalidates prepared traces even before the
+    schema version moves.
+    """
+    payload = "\n".join((
+        "schema={}".format(CACHE_SCHEMA_VERSION),
+        "code={}".format(code_fingerprint()),
+        "lowering={}".format(LOWERING_VERSION),
+        "epoch={}".format(epoch),
+        "benchmark={}".format(benchmark),
+        "size={}".format(size),
+    ))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def prepared_workload(benchmark, size, cache=None, epoch=0):
+    """Return a workload with its derived hot-path artifacts attached.
+
+    "Prepared" means the one-time per-trace work is already done: every
+    invocation trace is lowered for the default AXC issue width and the
+    DDG-derived per-function MLP table is memoised on the workload.
+    Prepared workloads are pickled into the engine's disk cache so pool
+    workers (and later processes) never re-execute the kernel generators
+    or the dependence-graph analysis.
+    """
+    cache = cache if cache is not None else get_engine().cache
+    key = trace_cache_key(benchmark, size, epoch)
+    workload = cache.load_trace(key)
+    if workload is None:
+        workload = build_workload(benchmark, size)
+        lower_workload(workload)
+        function_mlp(workload)
+        cache.store_trace(key, workload)
+    return workload
+
+
+def _execute(request, cache=None, epoch=None):
+    """Run one simulation point from scratch (no result caching).
 
     Top-level so it pickles for pool workers; also the serial path.
+    ``cache``/``epoch`` name the prepared-trace store to use; they
+    default to the process-wide engine's (which forked pool workers
+    inherit), while in-process engines pass their own so a test engine
+    with a private cache root never writes outside it.
     """
     if request.system not in SYSTEMS:
         raise ConfigError(
             "unknown system {!r}; expected one of {}".format(
                 request.system, ", ".join(SYSTEMS)))
-    workload = build_workload(request.benchmark, request.size)
+    if cache is None:
+        engine = get_engine()
+        cache, epoch = engine.cache, engine.epoch
+    workload = prepared_workload(request.benchmark, request.size,
+                                 cache, epoch or 0)
     system = SYSTEMS[request.system](request.config, workload)
     return system.run()
 
 
-def _execute_timed(request):
+#: Per-worker-process DiskCache instances keyed by (root, enabled), so
+#: every request a pool worker serves shares one in-memory trace index.
+_WORKER_CACHES = {}
+
+
+def _worker_cache(root, enabled):
+    cache = _WORKER_CACHES.get((root, enabled))
+    if cache is None:
+        cache = DiskCache(root)
+        cache.enabled_override = enabled
+        _WORKER_CACHES[(root, enabled)] = cache
+    return cache
+
+
+def _execute_timed(request, cache_root=None, cache_enabled=True,
+                   epoch=0):
+    """Pool-worker entry point: run one request against the submitting
+    engine's prepared-trace store (workers must not fall back to the
+    process-wide engine's cache, which can have a different root)."""
+    cache = (_worker_cache(cache_root, cache_enabled)
+             if cache_root is not None else None)
     start = time.perf_counter()
-    result = _execute(request)
+    result = _execute(request, cache, epoch)
     return result, time.perf_counter() - start
 
 
@@ -178,6 +248,10 @@ class DiskCache:
         self.disk_hits = 0
         self.misses = 0
         self.stores = 0
+        self.trace_memory_hits = 0
+        self.trace_disk_hits = 0
+        self.trace_misses = 0
+        self.trace_stores = 0
 
     @property
     def root(self):
@@ -197,8 +271,47 @@ class DiskCache:
     def _entry_dir(self):
         return self.root / "v{}".format(CACHE_SCHEMA_VERSION)
 
+    def _trace_dir(self):
+        return self._entry_dir() / "traces"
+
     def _path(self, key):
         return self._entry_dir() / key[:2] / (key + ".pkl")
+
+    def _trace_path(self, key):
+        return self._trace_dir() / key[:2] / (key + ".pkl")
+
+    def _read_pickle(self, path):
+        """Load one pickle, dropping torn/unreadable entries.
+
+        Returns ``None`` on any failure (including absence).
+        """
+        try:
+            with open(path, "rb") as fileobj:
+                return pickle.load(fileobj)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Torn/stale/unreadable entry: drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _write_pickle(self, path, obj):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            dir=str(path.parent), prefix=".tmp-", delete=False)
+        try:
+            with handle as fileobj:
+                pickle.dump(obj, fileobj, pickle.HIGHEST_PROTOCOL)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
 
     def load(self, key):
         """Return the cached result for ``key`` or ``None``."""
@@ -208,19 +321,8 @@ class DiskCache:
         if index_key in self._index:
             self.memory_hits += 1
             return self._index[index_key]
-        path = self._path(key)
-        try:
-            with open(path, "rb") as fileobj:
-                result = pickle.load(fileobj)
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except Exception:
-            # Torn/stale/unreadable entry: drop it and recompute.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        result = self._read_pickle(self._path(key))
+        if result is None:
             self.misses += 1
             return None
         self._index[index_key] = result
@@ -231,28 +333,48 @@ class DiskCache:
         if key is None or not self.enabled:
             return
         self._index[(str(self.root), key)] = result
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            dir=str(path.parent), prefix=".tmp-", delete=False)
-        try:
-            with handle as fileobj:
-                pickle.dump(result, fileobj, pickle.HIGHEST_PROTOCOL)
-            os.replace(handle.name, path)
-        except BaseException:
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+        self._write_pickle(self._path(key), result)
         self.stores += 1
+
+    def load_trace(self, key):
+        """Return the cached prepared workload for ``key`` or ``None``.
+
+        Always consults the in-memory index (preserving object identity
+        within a process, like the workload registry's own memo); the
+        disk tier is skipped when caching is disabled.
+        """
+        if key is None:
+            return None
+        index_key = (str(self.root), "trace", key)
+        if index_key in self._index:
+            self.trace_memory_hits += 1
+            return self._index[index_key]
+        if not self.enabled:
+            return None
+        workload = self._read_pickle(self._trace_path(key))
+        if workload is None:
+            self.trace_misses += 1
+            return None
+        self._index[index_key] = workload
+        self.trace_disk_hits += 1
+        return workload
+
+    def store_trace(self, key, workload):
+        if key is None:
+            return
+        self._index[(str(self.root), "trace", key)] = workload
+        if not self.enabled:
+            return
+        self._write_pickle(self._trace_path(key), workload)
+        self.trace_stores += 1
 
     def clear_index(self):
         """Drop the in-memory index (disk entries survive)."""
         self._index.clear()
 
     def clear(self):
-        """Delete every on-disk entry; returns the number removed."""
+        """Delete every on-disk entry (results *and* prepared traces);
+        returns the number removed."""
         removed = 0
         entry_dir = self._entry_dir()
         if entry_dir.is_dir():
@@ -265,18 +387,26 @@ class DiskCache:
         self.clear_index()
         return removed
 
-    def disk_stats(self):
-        """Return ``(entries, total_bytes)`` for the on-disk store."""
+    def _tally(self, root_dir, exclude=None):
         entries, total = 0, 0
-        entry_dir = self._entry_dir()
-        if entry_dir.is_dir():
-            for path in entry_dir.rglob("*.pkl"):
+        if root_dir.is_dir():
+            for path in root_dir.rglob("*.pkl"):
+                if exclude is not None and exclude in path.parents:
+                    continue
                 try:
                     total += path.stat().st_size
                     entries += 1
                 except OSError:
                     pass
         return entries, total
+
+    def disk_stats(self):
+        """Return ``(entries, total_bytes)`` for on-disk *results*."""
+        return self._tally(self._entry_dir(), exclude=self._trace_dir())
+
+    def trace_stats(self):
+        """Return ``(entries, total_bytes)`` for prepared-trace pickles."""
+        return self._tally(self._trace_dir())
 
 
 @dataclass
@@ -399,14 +529,20 @@ class ExecutionEngine:
         computed = {}
         if parallelisable:
             workers = min(effective_jobs, len(parallelisable))
+            cache_root = str(self.cache.root)
+            cache_enabled = self.cache.enabled
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(_execute_timed, request)
+                futures = [pool.submit(_execute_timed, request,
+                                       cache_root, cache_enabled,
+                                       self.epoch)
                            for _, request in parallelisable]
                 for (key, _), future in zip(parallelisable, futures):
                     result, wall = future.result()
                     computed[key] = (result, wall, "computed-parallel")
         for key, request in serial:
-            result, wall = _execute_timed(request)
+            start = time.perf_counter()
+            result = _execute(request, self.cache, self.epoch)
+            wall = time.perf_counter() - start
             computed[key] = (result, wall, "computed")
 
         for key, (result, wall, source) in computed.items():

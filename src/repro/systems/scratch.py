@@ -9,9 +9,8 @@ traffic Figure 6d quantifies (DMA kB many times the working set).
 """
 
 from ..accel.core import AxcCore
-from ..common.types import FunctionTrace
 from ..host.dma import OracleDmaController, ScratchpadAccessModel, \
-    partition_windows
+    windows_for
 from ..mem.scratchpad import Scratchpad
 from .base import BaseSystem
 
@@ -49,14 +48,11 @@ class ScratchSystem(BaseSystem):
         model = self.access_models[axc]
         core = self.cores[axc]
         mlp = self._mlp(trace)
-        windows = partition_windows(trace, self._capacity)
+        windows = windows_for(trace, self._capacity)
         self.stats.add("dma.windows", len(windows))
         for window_index, window in enumerate(windows):
             now += self.dma.transfer_in(window.in_blocks, scratchpad, now)
-            window_trace = FunctionTrace(
-                name=trace.name, benchmark=trace.benchmark,
-                ops=window.ops, lease_time=trace.lease_time)
-            now = core.run(window_trace, now, model.access, mlp,
+            now = core.run(window.trace, now, model.access, mlp,
                            charge_invocation=(window_index == 0))
             dirty = scratchpad.drain()
             now += self.dma.transfer_out(dirty, now)

@@ -102,9 +102,18 @@ def function_mlp(workload):
 
     The cycle model uses the *pipelined* MLP (iterations overlap in a
     fixed-function datapath); Table 1 reports the dependence-limited MLP.
+
+    The result is a pure function of the (read-only) workload trace and
+    every system construction needs it, so it is memoised on the
+    workload object — building N systems over one workload runs the DDG
+    analysis once, not N times.  Callers must treat the dict as frozen.
     """
-    return {profile.name: profile.pipe_mlp
+    cached = workload.__dict__.get("_function_mlp")
+    if cached is None:
+        cached = workload.__dict__["_function_mlp"] = {
+            profile.name: profile.pipe_mlp
             for profile in characterize(workload)}
+    return cached
 
 
 def working_set_kb(workload):

@@ -1,0 +1,156 @@
+"""Trace lowering: compile a :class:`FunctionTrace` for the hot path.
+
+The per-access inner loop dominates a simulation's wall time, and the
+legacy interpreter paid per-op costs that never change between runs:
+``isinstance`` dispatch over the heterogeneous ``trace.ops`` list,
+``op.block`` property calls (re-aligning the same address every run) and
+``math.ceil`` latency arithmetic for every individual
+:class:`~repro.common.types.ComputeOp`.  Lowering performs that work
+*once* per (trace, issue width) and emits a flat, pre-resolved stream
+that :class:`repro.accel.core.AxcCore` interprets with no type dispatch
+at all — the same separation of trace construction from evaluation that
+Aladdin's pre-lowered DDG traces and LoopTree use.
+
+Lowered form: ``LoweredTrace.steps`` is a list of 2-tuples,
+
+* ``(mem_op, block)`` — one memory operation with its line-aligned
+  address precomputed (``mem_op`` is the original
+  :class:`~repro.common.types.MemOp`, so ``access_fn`` closures are
+  untouched);
+* ``(None, latency)`` — a *fused chunk* of adjacent compute ops whose
+  dataflow latencies are pre-summed for the core's issue width.
+
+Fusion sums the per-op latencies (``max(1, ceil(total / issue_width))``
+each) rather than re-deriving a latency from the summed activity, so the
+lowered timeline is bit-identical to the legacy interpreter's — the
+golden-stability gate (``tests/test_golden_full.py``) is the proof.
+Phase markers carry no cost in the core model and are dropped from the
+stream (SCRATCH consumes them during window partitioning, before
+lowering).
+
+Lowered traces are memoised on the trace object itself (keyed by issue
+width), so they ride along when the execution engine pickles prepared
+workloads into its disk cache and pool workers skip both the kernel
+re-execution *and* the lowering pass.
+"""
+
+import math
+
+from ..common.types import ComputeOp, MemOp, block_address
+
+#: Bump when the lowered format changes incompatibly; part of the
+#: engine's prepared-workload cache key.
+LOWERING_VERSION = 1
+
+#: Attribute used to memoise lowered forms on a trace object.
+_CACHE_ATTR = "_lowered_by_width"
+
+
+class LoweredTrace:
+    """The compiled form of one :class:`FunctionTrace` invocation."""
+
+    __slots__ = ("name", "issue_width", "steps", "mem_ops", "int_ops",
+                 "fp_ops", "compute_chunks")
+
+    def __init__(self, name, issue_width, steps, mem_ops, int_ops,
+                 fp_ops, compute_chunks):
+        self.name = name
+        self.issue_width = issue_width
+        self.steps = steps
+        self.mem_ops = mem_ops
+        self.int_ops = int_ops
+        self.fp_ops = fp_ops
+        self.compute_chunks = compute_chunks
+
+    def __repr__(self):
+        return ("LoweredTrace({}, iw={}, {} steps: {} mem + {} chunks)"
+                .format(self.name, self.issue_width, len(self.steps),
+                        self.mem_ops, self.compute_chunks))
+
+
+def lower_trace(trace, issue_width):
+    """Compile ``trace`` for ``issue_width``; one pass, no memoisation.
+
+    Semantics-preserving by construction: every MemOp appears in program
+    order with its precomputed line address; every run of adjacent
+    ComputeOps becomes one chunk whose latency is the *sum* of the
+    per-op ``max(1, ceil(total / issue_width))`` latencies the legacy
+    interpreter would have charged; every other op kind (phase markers)
+    advances nothing and is dropped, exactly as the legacy loop skipped
+    it.
+    """
+    steps = []
+    append = steps.append
+    ceil = math.ceil
+    pending_latency = 0
+    mem_ops = 0
+    int_ops = 0
+    fp_ops = 0
+    compute_chunks = 0
+    for op in trace.ops:
+        if type(op) is MemOp:
+            if pending_latency:
+                append((None, pending_latency))
+                pending_latency = 0
+                compute_chunks += 1
+            mem_ops += 1
+            append((op, block_address(op.addr)))
+        elif type(op) is ComputeOp:
+            int_ops += op.int_ops
+            fp_ops += op.fp_ops
+            pending_latency += max(1, ceil(op.total / issue_width))
+        elif isinstance(op, MemOp):
+            # Subclassed op types take the slow (but equivalent) path.
+            if pending_latency:
+                append((None, pending_latency))
+                pending_latency = 0
+                compute_chunks += 1
+            mem_ops += 1
+            append((op, block_address(op.addr)))
+        elif isinstance(op, ComputeOp):
+            int_ops += op.int_ops
+            fp_ops += op.fp_ops
+            pending_latency += max(1, ceil(op.total / issue_width))
+        # Anything else (PhaseMarker, foreign op types) costs nothing in
+        # the core model — dropped, as the legacy interpreter skipped it.
+    if pending_latency:
+        append((None, pending_latency))
+        compute_chunks += 1
+    return LoweredTrace(trace.name, issue_width, steps, mem_ops,
+                        int_ops, fp_ops, compute_chunks)
+
+
+def lowered_trace(trace, issue_width):
+    """Return the memoised lowered form of ``trace`` for ``issue_width``.
+
+    The compiled stream is cached in the trace object's ``__dict__``
+    (traces are read-only to the simulator once built), so repeat
+    invocations — and pickles of the owning workload — reuse it.
+    """
+    cache = trace.__dict__.get(_CACHE_ATTR)
+    if cache is None:
+        cache = {}
+        trace.__dict__[_CACHE_ATTR] = cache
+    lowered = cache.get(issue_width)
+    if lowered is None:
+        lowered = lower_trace(trace, issue_width)
+        cache[issue_width] = lowered
+    return lowered
+
+
+def invalidate_lowered(trace):
+    """Drop a trace's memoised lowered forms (after mutating its ops)."""
+    trace.__dict__.pop(_CACHE_ATTR, None)
+
+
+def lower_workload(workload, issue_width=4):
+    """Pre-lower every invocation of ``workload`` (default issue width).
+
+    Used by the execution engine before pickling a prepared workload
+    into its disk cache, so pool workers load ready-to-run streams
+    instead of re-executing kernels and re-lowering.  Returns the
+    workload for chaining.
+    """
+    for trace in workload.invocations:
+        lowered_trace(trace, issue_width)
+    return workload

@@ -151,6 +151,7 @@ def test_cache_stats_command(fresh_engine, capsys):
     assert main(["cache", "stats"]) == 0
     out = capsys.readouterr().out
     assert "entries        : 1" in out
+    assert "trace entries  : 1" in out
     assert "last session" in out
     assert "hit ratio" in out
 
@@ -159,6 +160,18 @@ def test_cache_clear_command(fresh_engine, capsys):
     assert main(["run", "FUSION", "adpcm", "--size", "tiny"]) == 0
     capsys.readouterr()
     assert main(["cache", "clear"]) == 0
-    assert "removed 1 cached result(s)" in capsys.readouterr().out
+    # 1 result + 1 prepared-trace entry.
+    assert "removed 2 cached file(s)" in capsys.readouterr().out
     assert main(["cache", "stats"]) == 0
-    assert "entries        : 0" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "entries        : 0" in out
+    assert "trace entries  : 0" in out
+
+
+def test_profile_command(fresh_engine, capsys):
+    assert main(["profile", "FUSION", "fft", "--size", "tiny",
+                 "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "FUSION on fft (size=tiny)" in out
+    assert "cumulative" in out
+    assert "run" in out

@@ -133,8 +133,10 @@ def test_disk_cache_disabled_by_env(tmp_path, monkeypatch, engine):
 
 def test_disk_cache_survives_corrupt_entry(engine):
     [first] = engine.run_batch(_batch("FUSION"))
-    # Corrupt the single entry on disk, drop the memory index, rerun.
-    entries = list(engine.cache.root.rglob("*.pkl"))
+    # Corrupt the single result entry on disk (the other pickle under
+    # the root is the prepared-trace entry), drop the index, rerun.
+    entries = [path for path in engine.cache.root.rglob("*.pkl")
+               if "traces" not in path.parts]
     assert len(entries) == 1
     entries[0].write_bytes(b"not a pickle")
     engine.cache.clear_index()
@@ -147,8 +149,74 @@ def test_disk_cache_clear_removes_entries(engine):
     engine.run_batch(_batch("FUSION", "SHARED", "SCRATCH"))
     entries, total_bytes = engine.cache.disk_stats()
     assert entries == 3 and total_bytes > 0
-    assert engine.cache.clear() == 3
+    # clear() removes the 3 results plus the 1 shared prepared-trace
+    # entry (all three systems ran the same benchmark+size).
+    assert engine.cache.clear() == 4
     assert engine.cache.disk_stats() == (0, 0)
+    assert engine.cache.trace_stats() == (0, 0)
+
+
+# -- prepared-workload trace cache -----------------------------------------
+
+def test_prepared_trace_persisted_and_accounted(engine):
+    from repro.sim.engine import prepared_workload
+    engine.jobs = 1  # serial, so the accounting lands on engine.cache
+    engine.run_batch(_batch("FUSION", "SHARED"))
+    # One benchmark+size pair -> exactly one prepared-trace pickle,
+    # accounted separately from the two result entries.
+    assert engine.cache.disk_stats()[0] == 2
+    trace_entries, trace_bytes = engine.cache.trace_stats()
+    assert trace_entries == 1 and trace_bytes > 0
+    assert engine.cache.trace_stores == 1
+    assert engine.cache.trace_memory_hits == 1  # second system reused it
+
+    # A fresh cache over the same root loads the prepared workload from
+    # disk with the hot-path artifacts already attached.
+    fresh = DiskCache(engine.cache.root)
+    workload = prepared_workload("adpcm", "tiny", fresh, epoch=0)
+    assert fresh.trace_disk_hits == 1
+    assert "_function_mlp" in workload.__dict__
+    for trace in workload.invocations:
+        assert "_lowered_by_width" in trace.__dict__
+
+
+def test_parallel_workers_share_the_engines_trace_store(tmp_path):
+    """Pool workers must write prepared traces under the *submitting*
+    engine's cache root, not the process-wide engine's."""
+    engine = ExecutionEngine(jobs=2, cache=DiskCache(tmp_path / "p"))
+    engine.run_batch(_batch("FUSION", "SHARED"))
+    assert engine.telemetry.parallel_computed == 2
+    assert engine.cache.trace_stats()[0] == 1
+
+
+def test_prepared_trace_simulates_identically(engine, tmp_path):
+    from repro.sim.engine import _execute
+    request = RunRequest("FUSION", "adpcm", "tiny").normalized()
+    [via_engine] = engine.run_batch([request])
+    # Re-execute from the pickled prepared workload (cold process path).
+    fresh = DiskCache(engine.cache.root)
+    direct = _execute(request, fresh, 0)
+    assert fresh.trace_disk_hits == 1
+    assert direct.accel_cycles == via_engine.accel_cycles
+    assert direct.total_cycles == via_engine.total_cycles
+    assert direct.stats == via_engine.stats
+
+
+def test_trace_cache_key_varies_and_respects_epoch():
+    from repro.sim.engine import trace_cache_key
+    keys = {trace_cache_key("fft", "tiny"),
+            trace_cache_key("adpcm", "tiny"),
+            trace_cache_key("fft", "small"),
+            trace_cache_key("fft", "tiny", epoch=1)}
+    assert len(keys) == 4
+    assert trace_cache_key("fft", "tiny") == trace_cache_key("fft", "tiny")
+
+
+def test_trace_cache_disabled_by_env(engine, monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    engine.run_batch(_batch("FUSION"))
+    assert engine.cache.trace_stats() == (0, 0)
+    assert engine.cache.trace_stores == 0
 
 
 # -- batching --------------------------------------------------------------

@@ -1,0 +1,115 @@
+"""Trace lowering (repro.workloads.lowering)."""
+
+import math
+
+from repro.accel.core import AxcCore
+from repro.common.stats import StatsRegistry
+from repro.common.types import (
+    AccessType,
+    ComputeOp,
+    FunctionTrace,
+    MemOp,
+    PhaseMarker,
+    block_address,
+)
+from repro.workloads.lowering import (
+    LoweredTrace,
+    invalidate_lowered,
+    lower_trace,
+    lower_workload,
+    lowered_trace,
+)
+
+
+def _trace(ops):
+    return FunctionTrace(name="t", benchmark="b", ops=ops, lease_time=100)
+
+
+def test_lowered_stream_structure():
+    ops = [
+        ComputeOp(int_ops=4, fp_ops=0),
+        ComputeOp(int_ops=0, fp_ops=8),
+        MemOp(AccessType.LOAD, 0x1234),
+        PhaseMarker(label="x"),
+        MemOp(AccessType.STORE, 0x80),
+        ComputeOp(int_ops=2, fp_ops=2),
+    ]
+    lowered = lower_trace(_trace(ops), issue_width=4)
+    # chunk, mem, mem, chunk — phase marker dropped.
+    assert len(lowered.steps) == 4
+    chunk0, mem0, mem1, chunk1 = lowered.steps
+    assert chunk0[0] is None
+    assert mem0 == (ops[2], block_address(0x1234))
+    assert mem1 == (ops[4], block_address(0x80))
+    assert chunk1[0] is None
+    assert lowered.mem_ops == 2
+    assert lowered.int_ops == 6
+    assert lowered.fp_ops == 10
+    assert lowered.compute_chunks == 2
+
+
+def test_fused_chunk_latency_sums_per_op_latencies():
+    """Fusion must charge the SUM of per-op ``max(1, ceil(total/w))``
+    latencies — never re-derive a latency from the summed activity
+    (ceil-of-sum would under-charge and break bit-identity)."""
+    ops = [ComputeOp(int_ops=1, fp_ops=0),   # ceil(1/4) -> 1
+           ComputeOp(int_ops=1, fp_ops=0),   # ceil(1/4) -> 1
+           ComputeOp(int_ops=5, fp_ops=0)]   # ceil(5/4) -> 2
+    lowered = lower_trace(_trace(ops), issue_width=4)
+    assert lowered.steps == [(None, 4)]
+    # The naive (wrong) alternative would give ceil(7/4) == 2.
+    assert math.ceil(7 / 4) != 4
+
+
+def test_memoised_per_issue_width_and_invalidate():
+    trace = _trace([MemOp(AccessType.LOAD, 64)])
+    first = lowered_trace(trace, 4)
+    assert lowered_trace(trace, 4) is first
+    assert lowered_trace(trace, 8) is not first
+    invalidate_lowered(trace)
+    assert lowered_trace(trace, 4) is not first
+
+
+def test_lower_workload_prelowers_every_invocation(fft_tiny):
+    lower_workload(fft_tiny)
+    for trace in fft_tiny.invocations:
+        assert trace.__dict__["_lowered_by_width"][4] is \
+            lowered_trace(trace, 4)
+
+
+def test_run_and_iter_run_agree():
+    """The tight loop (run) and the generator (iter_run) must produce
+    the same end time and the same stats for the same inputs."""
+    ops = []
+    for i in range(100):
+        ops.append(ComputeOp(int_ops=i % 7, fp_ops=i % 3))
+        ops.append(MemOp(
+            AccessType.STORE if i % 5 == 0 else AccessType.LOAD,
+            (i % 16) * 64))
+    trace = _trace(ops)
+
+    def access_fn(op, now):
+        return 3 if op.kind is AccessType.LOAD else 5
+
+    run_stats = StatsRegistry()
+    run_core = AxcCore(0, run_stats)
+    run_end = run_core.run(trace, 10, access_fn, mlp=3)
+
+    iter_stats = StatsRegistry()
+    iter_core = AxcCore(0, iter_stats)
+    generator = iter_core.iter_run(trace, 10, access_fn, mlp=3)
+    while True:
+        try:
+            next(generator)
+        except StopIteration as stop:
+            iter_end = stop.value
+            break
+
+    assert run_end == iter_end
+    assert run_stats.snapshot() == iter_stats.snapshot()
+
+
+def test_lowered_repr_mentions_shape():
+    lowered = lower_trace(_trace([MemOp(AccessType.LOAD, 0)]), 4)
+    assert isinstance(lowered, LoweredTrace)
+    assert "1 mem" in repr(lowered)

@@ -71,6 +71,45 @@ def test_total_sums_prefix():
     assert stats.total("link") == 15
 
 
+def test_total_counts_exact_name_once_and_ignores_lookalikes():
+    """Regression: ``total("l1x")`` must count a counter named exactly
+    ``l1x`` exactly once, and must never match ``l1x_other.x`` (a name
+    that shares the prefix string but not the dotted hierarchy)."""
+    stats = StatsRegistry()
+    stats.add("l1x", 7)              # exact name, no dot
+    stats.add("l1x.hits", 3)         # true child
+    stats.add("l1x_other.x", 100)    # lookalike prefix — must not count
+    stats.add("l1xtra", 50)          # lookalike leaf — must not count
+    assert stats.total("l1x") == 10
+    # A trailing dot means the same subtree.
+    assert stats.total("l1x.") == 10
+
+
+def test_counter_handle_binds_name_and_accumulates():
+    stats = StatsRegistry()
+    add_hits = stats.counter("l0x.hits")
+    assert add_hits.counter_name == "l0x.hits"
+    # Creating a handle must NOT materialise the counter (key sets feed
+    # the golden digests).
+    assert "l0x.hits" not in stats
+    add_hits()
+    add_hits(2)
+    assert stats.get("l0x.hits") == 3
+
+
+def test_scope_counter_qualifies_and_survives_clear():
+    stats = StatsRegistry()
+    scope = stats.scope("tile").scope("axc0")
+    add = scope.counter("mem_ops")
+    add(5)
+    assert stats.get("tile.axc0.mem_ops") == 5
+    # clear() empties in place, so live handles keep working.
+    stats.clear()
+    assert stats.get("tile.axc0.mem_ops") == 0
+    add(2)
+    assert stats.get("tile.axc0.mem_ops") == 2
+
+
 def test_subtree_strips_prefix():
     stats = StatsRegistry()
     stats.add("l0x.hits", 1)
