@@ -11,11 +11,14 @@ Examples::
     fusion-sim multitenant adpcm filter --size tiny
     fusion-sim --jobs 4 experiment all --size full
     fusion-sim --no-cache run FUSION fft --size small
+    fusion-sim --timeout 300 --retries 3 experiment all --size full
     fusion-sim cache stats
     fusion-sim profile FUSION fft --size small --top 20
+    fusion-sim doctor --quick
 """
 
 import argparse
+import os
 import sys
 
 from .common.config import small_config
@@ -210,6 +213,7 @@ def _cmd_cache(args):
         return 0
     entries, total_bytes = cache.disk_stats()
     trace_entries, trace_bytes = cache.trace_stats()
+    temp_count, temp_bytes = cache.temp_stats()
     print("cache dir      : {}".format(cache.root))
     print("enabled        : {}".format("yes" if cache.enabled else
                                        "no (REPRO_NO_CACHE)"))
@@ -218,6 +222,8 @@ def _cmd_cache(args):
         entries, total_bytes / 1024.0))
     print("trace entries  : {} ({:.1f} kB prepared workloads)".format(
         trace_entries, trace_bytes / 1024.0))
+    print("temp files     : {} ({:.1f} kB orphaned; 'cache clear' "
+          "sweeps them)".format(temp_count, temp_bytes / 1024.0))
     session = engine.load_session_stats()
     if session and "telemetry" in session:
         t = session["telemetry"]
@@ -225,8 +231,177 @@ def _cmd_cache(args):
               "{} memory hits, hit ratio {:.0%}".format(
                   t.get("computed", 0), t.get("disk_hits", 0),
                   t.get("memory_hits", 0), t.get("hit_ratio", 0.0)))
+        recovery = {name: t.get(name, 0) for name in (
+            "retries", "pool_respawns", "timeouts", "serial_fallbacks",
+            "failed_points", "corrupt_drops")}
+        if any(recovery.values()):
+            print("recovery       : " + ", ".join(
+                "{} {}".format(value, name.replace("_", " "))
+                for name, value in recovery.items() if value))
     else:
         print("last session   : (no telemetry recorded)")
+    return 0
+
+
+def _cmd_doctor(args):
+    """Engine health report plus live recovery drills.
+
+    Quick mode reports configuration, cache health and the last
+    session's telemetry.  Full mode additionally arms deterministic
+    faults (``REPRO_FAULT_SPEC``) against private, cache-bypassing
+    engines and verifies each recovery path end-to-end: parallel
+    results match serial, a crashing worker pool converges via respawn
+    plus serial fallback, and a hung point times out without poisoning
+    the rest of its batch.
+    """
+    import contextlib
+
+    from .sim import faults
+    from .sim.engine import DiskCache, ExecutionEngine, RunRequest
+
+    engine = engine_mod.get_engine()
+    failures = []
+
+    def report(name, ok, detail):
+        if not ok:
+            failures.append(name)
+        print("  [{}] {:<16s} {}".format("ok " if ok else "FAIL",
+                                         name, detail))
+
+    timeout = engine_mod.resolve_timeout(engine.timeout)
+    print("engine configuration")
+    print("  jobs          : {}".format(
+        engine_mod.resolve_jobs(engine.jobs)))
+    print("  timeout       : {}".format(
+        "{:g}s".format(timeout) if timeout is not None
+        else "none (set REPRO_RUN_TIMEOUT or --timeout)"))
+    print("  retries       : {} pool respawn(s) before serial fallback"
+          .format(engine_mod.resolve_retries(engine.retries)))
+    print("  retry backoff : {:g}s".format(engine_mod.resolve_backoff()))
+    print("  fault spec    : {}".format(
+        os.environ.get("REPRO_FAULT_SPEC", "").strip() or "(none armed)"))
+    print("  engine log    : {}".format(
+        os.environ.get("REPRO_ENGINE_LOG", "").strip()
+        or "(in-memory ring buffer only)"))
+
+    cache = engine.cache
+    entries, total_bytes = cache.disk_stats()
+    temp_count, temp_bytes = cache.temp_stats()
+    print("cache health")
+    print("  dir           : {}".format(cache.root))
+    print("  enabled       : {}".format("yes" if cache.enabled else "no"))
+    print("  entries       : {} ({:.1f} kB)".format(
+        entries, total_bytes / 1024.0))
+    print("  temp files    : {} ({:.1f} kB orphaned{})".format(
+        temp_count, temp_bytes / 1024.0,
+        "; run 'fusion-sim cache clear'" if temp_count else ""))
+
+    session = engine.load_session_stats()
+    if session and "telemetry" in session:
+        t = session["telemetry"]
+        print("last session")
+        print("  {} simulated, {} disk hits, {} memory hits".format(
+            t.get("computed", 0), t.get("disk_hits", 0),
+            t.get("memory_hits", 0)))
+        print("  {} retries, {} pool respawns, {} timeouts, "
+              "{} serial fallbacks, {} failed points, {} corrupt drops"
+              .format(t.get("retries", 0), t.get("pool_respawns", 0),
+                      t.get("timeouts", 0), t.get("serial_fallbacks", 0),
+                      t.get("failed_points", 0), t.get("corrupt_drops", 0)))
+
+    if args.quick:
+        print("recovery drills skipped (--quick)")
+        return 0
+
+    @contextlib.contextmanager
+    def patched(**pairs):
+        saved = {name: os.environ.get(name) for name in pairs}
+        try:
+            for name, value in pairs.items():
+                if value is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = value
+            yield
+        finally:
+            for name, value in saved.items():
+                if value is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = value
+
+    def drill_engine(jobs, timeout=None, retries=None):
+        private = DiskCache()
+        private.enabled_override = False
+        return ExecutionEngine(jobs=jobs, cache=private,
+                               timeout=timeout, retries=retries)
+
+    requests = [RunRequest(system, benchmark, "tiny")
+                for system in ("FUSION", "SHARED")
+                for benchmark in ("adpcm", "fft", "filter")]
+    print("recovery drills (size=tiny, private cache-bypassing engines)")
+
+    baseline = None
+    try:
+        with patched(REPRO_FAULT_SPEC=None, REPRO_RETRY_BACKOFF="0"):
+            baseline = drill_engine(jobs=1).run_batch(requests)
+            parallel = drill_engine(jobs=2).run_batch(requests)
+        report("determinism", parallel == baseline,
+               "parallel (jobs=2) matches serial on {} points"
+               .format(len(requests)))
+    except Exception as exc:  # pragma: no cover - drill must not die
+        report("determinism", False, repr(exc))
+
+    drill = None
+    try:
+        with patched(REPRO_FAULT_SPEC="crash:every=1",
+                     REPRO_RETRY_BACKOFF="0"):
+            drill = drill_engine(jobs=2, retries=1)
+            crashed = drill.run_batch(requests)
+        snap = drill.telemetry.snapshot()
+        ok = (baseline is not None and crashed == baseline
+              and snap["pool_respawns"] >= 1
+              and snap["serial_fallbacks"] >= 1)
+        report("crash-recovery", ok,
+               "{} pool respawn(s), {} serial fallback(s), "
+               "results match serial baseline"
+               .format(snap["pool_respawns"], snap["serial_fallbacks"]))
+    except Exception as exc:  # pragma: no cover - drill must not die
+        report("crash-recovery", False, repr(exc))
+
+    try:
+        with patched(REPRO_FAULT_SPEC="hang:key="
+                     + faults.request_key(requests[0]),
+                     REPRO_RETRY_BACKOFF="0"):
+            drill = drill_engine(jobs=2, timeout=0.5)
+            out = drill.run_batch(requests, strict=False)
+        failed = [r for r in out if not r.ok]
+        survivors_intact = (baseline is not None and all(
+            r == b for r, b in zip(out, baseline) if r.ok))
+        ok = (len(failed) == 1
+              and failed[0].system == requests[0].system
+              and failed[0].benchmark == requests[0].benchmark
+              and survivors_intact)
+        report("timeout", ok,
+               "hung point -> FailedResult after {} attempt(s), "
+               "{}/{} survivors intact".format(
+                   failed[0].attempts if failed else 0,
+                   sum(1 for r in out if r.ok), len(out) - 1))
+        if drill is not None:
+            print("drill journal tail")
+            for event in drill.journal.tail(6):
+                extra = {k: v for k, v in event.items()
+                         if k not in ("seq", "t", "event")}
+                print("  #{:<3d} {:<14s} {}".format(
+                    event["seq"], event["event"], extra or ""))
+    except Exception as exc:  # pragma: no cover - drill must not die
+        report("timeout", False, repr(exc))
+
+    if failures:
+        print("doctor: {} check(s) FAILED: {}".format(
+            len(failures), ", ".join(failures)))
+        return 1
+    print("doctor: all checks passed")
     return 0
 
 
@@ -241,6 +416,15 @@ def build_parser():
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the persistent result cache "
                              "(equivalent to REPRO_NO_CACHE=1)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="S",
+                        help="per-simulation wall-clock budget in "
+                             "seconds (default: REPRO_RUN_TIMEOUT; "
+                             "0 disables)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="pool respawns after worker crashes "
+                             "before degrading to in-process serial "
+                             "execution (default: REPRO_RETRIES or 2)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_size(p):
@@ -330,15 +514,26 @@ def build_parser():
                              help="persistent result-cache maintenance")
     cache_p.add_argument("action", choices=("stats", "clear"))
     cache_p.set_defaults(func=_cmd_cache)
+
+    doc_p = sub.add_parser("doctor",
+                           help="engine health report and live "
+                                "fault-recovery drills")
+    doc_p.add_argument("--quick", action="store_true",
+                       help="report configuration and telemetry only; "
+                            "skip the recovery drills")
+    doc_p.set_defaults(func=_cmd_doctor)
     return parser
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
-    if args.jobs is not None or args.no_cache:
+    if (args.jobs is not None or args.no_cache
+            or args.timeout is not None or args.retries is not None):
         engine_mod.configure(
             jobs=args.jobs,
-            cache_enabled=False if args.no_cache else None)
+            cache_enabled=False if args.no_cache else None,
+            timeout=args.timeout,
+            retries=args.retries)
     return args.func(args)
 
 

@@ -29,5 +29,18 @@ class SimulationError(ReproError):
     """The simulator reached an inconsistent state."""
 
 
+class ExecutionError(ReproError):
+    """The execution engine could not complete a simulation point.
+
+    Raised in strict batch mode after every recovery path (pool respawn
+    retries, serial fallback) has been exhausted; non-strict batches
+    return a :class:`repro.sim.results.FailedResult` instead.
+    """
+
+
+class RunTimeout(ExecutionError):
+    """A simulation point exceeded ``REPRO_RUN_TIMEOUT``/``--timeout``."""
+
+
 class TranslationError(ReproError):
     """Virtual memory translation failed (no mapping, synonym violation)."""

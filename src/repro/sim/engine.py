@@ -22,12 +22,26 @@ throughput:
   aggregated on ``engine.telemetry`` so benchmark JSONs can track the
   trajectory; an aggregate snapshot is persisted next to the cache for
   ``fusion-sim cache stats``.
+* The engine survives its own failures.  A crashed pool worker
+  (``BrokenProcessPool``) triggers a pool respawn with exponential
+  backoff up to ``REPRO_RETRIES`` times, then the remaining misses are
+  degraded to in-process serial execution; a point that exceeds
+  ``REPRO_RUN_TIMEOUT``/``--timeout`` is cancelled (its worker killed)
+  and reported without blocking the rest of the batch.  Non-strict
+  batches (``run_batch(..., strict=False)``) turn terminal failures
+  into structured :class:`~repro.sim.results.FailedResult` rows;
+  strict batches (the default) raise.  Every recovery action is
+  recorded in an :class:`EngineJournal` (ring buffer, optional JSONL
+  via ``REPRO_ENGINE_LOG``) and counted on :class:`EngineTelemetry`;
+  ``REPRO_FAULT_SPEC`` (:mod:`repro.sim.faults`) injects deterministic
+  crashes/hangs/cache corruption so all of it is testable in CI.
 
 The driver (:mod:`repro.sim.simulator`) routes every ``run()`` through
 the process-wide engine, so single-point callers transparently share
 the same cache as batch submitters.
 """
 
+import copy
 import hashlib
 import json
 import os
@@ -35,16 +49,21 @@ import pathlib
 import pickle
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from functools import lru_cache
 
 from ..common.config import config_fingerprint, small_config
-from ..common.errors import ConfigError
+from ..common.errors import ConfigError, ExecutionError, RunTimeout
 from ..systems import SYSTEMS
 from ..workloads.characterize import function_mlp
 from ..workloads.lowering import LOWERING_VERSION, lower_workload
 from ..workloads.registry import build_workload
+from . import faults
+from .results import FailedResult
 
 #: Bump when the cache entry layout (not the simulated models — those
 #: are covered by :func:`code_fingerprint`) changes incompatibly.
@@ -70,6 +89,52 @@ def resolve_jobs(jobs=None):
     except ValueError:
         raise ConfigError("REPRO_JOBS/--jobs must be an integer, "
                           "got {!r}".format(jobs))
+
+
+def resolve_timeout(timeout=None):
+    """Per-run timeout in seconds: explicit arg > ``REPRO_RUN_TIMEOUT``.
+
+    ``None``/empty/``0`` disable the timeout (the default).
+    """
+    if timeout is None:
+        env = os.environ.get("REPRO_RUN_TIMEOUT", "").strip()
+        if env:
+            timeout = env
+    if timeout is None:
+        return None
+    try:
+        timeout = float(timeout)
+    except (TypeError, ValueError):
+        raise ConfigError("REPRO_RUN_TIMEOUT/--timeout must be a number "
+                          "of seconds, got {!r}".format(timeout))
+    return timeout if timeout > 0 else None
+
+
+def resolve_retries(retries=None):
+    """Pool respawns allowed per batch: arg > ``REPRO_RETRIES`` > 2."""
+    if retries is None:
+        env = os.environ.get("REPRO_RETRIES", "").strip()
+        if env:
+            retries = env
+    if retries is None:
+        return 2
+    try:
+        return max(0, int(retries))
+    except (TypeError, ValueError):
+        raise ConfigError("REPRO_RETRIES/--retries must be an integer, "
+                          "got {!r}".format(retries))
+
+
+def resolve_backoff():
+    """Base respawn backoff in seconds (``REPRO_RETRY_BACKOFF``)."""
+    env = os.environ.get("REPRO_RETRY_BACKOFF", "").strip()
+    if not env:
+        return 0.05
+    try:
+        return max(0.0, float(env))
+    except ValueError:
+        raise ConfigError("REPRO_RETRY_BACKOFF must be a number of "
+                          "seconds, got {!r}".format(env))
 
 
 @lru_cache(maxsize=1)
@@ -213,7 +278,13 @@ def _execute_timed(request, cache_root=None, cache_enabled=True,
                    epoch=0):
     """Pool-worker entry point: run one request against the submitting
     engine's prepared-trace store (workers must not fall back to the
-    process-wide engine's cache, which can have a different root)."""
+    process-wide engine's cache, which can have a different root).
+
+    Crash/hang fault injection (``REPRO_FAULT_SPEC``) hooks in here and
+    *only* here — the in-process serial path stays fault-free, so
+    serial fallback is a guaranteed-success last resort.
+    """
+    faults.on_worker_execute(request)
     cache = (_worker_cache(cache_root, cache_enabled)
              if cache_root is not None else None)
     start = time.perf_counter()
@@ -252,6 +323,14 @@ class DiskCache:
         self.trace_disk_hits = 0
         self.trace_misses = 0
         self.trace_stores = 0
+        #: Torn/unreadable entries dropped by :meth:`_read_pickle`.
+        self.corrupt_drops = 0
+        #: Optional journal hook ``(event, **detail)`` set by the engine.
+        self.on_event = None
+
+    def _emit(self, event, **detail):
+        if self.on_event is not None:
+            self.on_event(event, **detail)
 
     @property
     def root(self):
@@ -283,15 +362,23 @@ class DiskCache:
     def _read_pickle(self, path):
         """Load one pickle, dropping torn/unreadable entries.
 
-        Returns ``None`` on any failure (including absence).
+        Returns ``None`` on any failure (including absence).  Dropped
+        corruption is *counted* (``corrupt_drops``) and journalled, so
+        silent data loss shows up in ``cache stats`` and ``doctor``
+        instead of disappearing into a recompute.
         """
         try:
             with open(path, "rb") as fileobj:
+                if faults.should_corrupt(path.name):
+                    raise pickle.UnpicklingError(
+                        "injected corruption (REPRO_FAULT_SPEC)")
                 return pickle.load(fileobj)
         except FileNotFoundError:
             return None
-        except Exception:
+        except Exception as exc:
             # Torn/stale/unreadable entry: drop it and recompute.
+            self.corrupt_drops += 1
+            self._emit("corrupt_drop", path=str(path), error=repr(exc))
             try:
                 path.unlink()
             except OSError:
@@ -372,9 +459,15 @@ class DiskCache:
         """Drop the in-memory index (disk entries survive)."""
         self._index.clear()
 
+    def _iter_temp_files(self):
+        """Orphaned ``.tmp-*`` files left by writers killed mid-write."""
+        root = self.root
+        if root.is_dir():
+            yield from root.rglob(".tmp-*")
+
     def clear(self):
-        """Delete every on-disk entry (results *and* prepared traces);
-        returns the number removed."""
+        """Delete every on-disk entry (results *and* prepared traces)
+        plus any orphaned ``.tmp-*`` files; returns the number removed."""
         removed = 0
         entry_dir = self._entry_dir()
         if entry_dir.is_dir():
@@ -384,6 +477,12 @@ class DiskCache:
                     removed += 1
                 except OSError:
                     pass
+        for path in sorted(self._iter_temp_files()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
         self.clear_index()
         return removed
 
@@ -408,6 +507,64 @@ class DiskCache:
         """Return ``(entries, total_bytes)`` for prepared-trace pickles."""
         return self._tally(self._trace_dir())
 
+    def temp_stats(self):
+        """Return ``(count, total_bytes)`` for orphaned ``.tmp-*`` files.
+
+        These are left behind when a writer dies between creating its
+        temp file and the atomic ``os.replace``; they are real disk
+        usage ``disk_stats()`` alone would under-report, and ``clear()``
+        sweeps them.
+        """
+        count, total = 0, 0
+        for path in self._iter_temp_files():
+            try:
+                total += path.stat().st_size
+                count += 1
+            except OSError:
+                pass
+        return count, total
+
+
+class EngineJournal:
+    """Ring buffer of engine recovery events, optionally mirrored to disk.
+
+    Every retry, pool respawn, timeout, serial-fallback downgrade,
+    corrupt-entry drop and point failure is recorded as a dict with an
+    ``event`` name and a monotonic ``seq``; the last ``maxlen`` events
+    are kept in memory (``fusion-sim doctor`` prints the tail).  When
+    ``REPRO_ENGINE_LOG`` names a file, each event is also appended as
+    one JSON line (best-effort — journal I/O must never fail a batch).
+    """
+
+    def __init__(self, maxlen=256):
+        self.events = deque(maxlen=maxlen)
+        self._seq = 0
+
+    def emit(self, event, **detail):
+        self._seq += 1
+        record = {"seq": self._seq, "t": round(time.time(), 3),
+                  "event": event}
+        record.update(detail)
+        self.events.append(record)
+        path = os.environ.get("REPRO_ENGINE_LOG", "").strip()
+        if path:
+            try:
+                with open(path, "a") as fileobj:
+                    fileobj.write(json.dumps(record, default=str) + "\n")
+            except OSError:
+                pass
+        return record
+
+    def tail(self, count=10):
+        return list(self.events)[-count:]
+
+    def counts(self):
+        """``{event_name: occurrences}`` over the retained window."""
+        tally = {}
+        for record in self.events:
+            tally[record["event"]] = tally.get(record["event"], 0) + 1
+        return tally
+
 
 @dataclass
 class EngineTelemetry:
@@ -424,6 +581,13 @@ class EngineTelemetry:
     uncacheable: int = 0
     wall_s: float = 0.0
     max_queue_depth: int = 0
+    #: Recovery counters (the failure-handling paths).
+    retries: int = 0
+    pool_respawns: int = 0
+    timeouts: int = 0
+    serial_fallbacks: int = 0
+    failed_points: int = 0
+    corrupt_drops: int = 0
 
     @property
     def hits(self):
@@ -437,7 +601,9 @@ class EngineTelemetry:
         data = {name: getattr(self, name) for name in (
             "batches", "requested", "unique", "computed",
             "parallel_computed", "serial_computed", "disk_hits",
-            "memory_hits", "uncacheable", "max_queue_depth")}
+            "memory_hits", "uncacheable", "max_queue_depth",
+            "retries", "pool_respawns", "timeouts", "serial_fallbacks",
+            "failed_points", "corrupt_drops")}
         data["wall_s"] = round(self.wall_s, 6)
         data["hit_ratio"] = round(self.hit_ratio(), 6)
         return data
@@ -446,12 +612,23 @@ class EngineTelemetry:
 class ExecutionEngine:
     """Deduplicating, caching, parallelising executor for run batches."""
 
-    def __init__(self, jobs=None, cache=None):
+    def __init__(self, jobs=None, cache=None, timeout=None, retries=None):
         #: None defers to ``REPRO_JOBS``/CPU count at each batch.
         self.jobs = jobs
+        #: None defers to ``REPRO_RUN_TIMEOUT`` at each batch.
+        self.timeout = timeout
+        #: None defers to ``REPRO_RETRIES`` (default 2) at each batch.
+        self.retries = retries
         self.cache = cache if cache is not None else DiskCache()
         self.epoch = 0
         self.telemetry = EngineTelemetry()
+        self.journal = EngineJournal()
+        self.cache.on_event = self._on_cache_event
+
+    def _on_cache_event(self, event, **detail):
+        if event == "corrupt_drop":
+            self.telemetry.corrupt_drops += 1
+        self.journal.emit(event, **detail)
 
     # -- configuration -----------------------------------------------------
 
@@ -466,14 +643,31 @@ class ExecutionEngine:
         """Run a single request (a batch of one)."""
         return self.run_batch([request])[0]
 
-    def run_batch(self, requests, jobs=None):
+    def run_batch(self, requests, jobs=None, strict=True, timeout=None):
         """Run a batch; returns results aligned with ``requests``.
 
-        Duplicate requests are simulated once.  Cache misses run in
-        parallel when more than one is outstanding and the effective
-        worker count exceeds one.
+        Duplicate requests are simulated once, but every slot of the
+        returned list is its own shallow copy with an independent
+        ``meta`` dict — mutating one caller's result (or its telemetry)
+        can never clobber another's.  Cache misses run in parallel when
+        more than one is outstanding and the effective worker count
+        exceeds one.
+
+        Failure contract: a crashed pool worker respawns the pool with
+        exponential backoff up to ``REPRO_RETRIES`` times, after which
+        the remaining misses degrade to in-process serial execution; a
+        point exceeding the per-run timeout is cancelled (its pool
+        killed), marked failed and never retried, while the rest of the
+        batch completes.  With ``strict=True`` (the default) a point
+        that still fails raises; with ``strict=False`` its slot holds a
+        structured :class:`~repro.sim.results.FailedResult` so tables
+        can render a hole instead of dying.
         """
         started = time.perf_counter()
+        # Parse the fault spec eagerly: a typo in REPRO_FAULT_SPEC must
+        # raise here, not be silently ignored because no pool worker or
+        # disk read ever consulted the plan.
+        faults.fault_plan()
         normalized = [request.normalized() for request in requests]
         for request in normalized:
             if request.system not in SYSTEMS:
@@ -495,7 +689,11 @@ class ExecutionEngine:
                 unique[key] = request
             order.append(key)
 
+        #: key -> canonical result; callers receive copies, so cached
+        #: canonicals keep pristine ``meta`` dicts.
         results = {}
+        #: key -> per-key meta overlay (cache source, compute wall).
+        overlays = {}
         cacheable_misses, uncacheable = [], []
         for key, request in unique.items():
             if isinstance(key, tuple):
@@ -504,9 +702,9 @@ class ExecutionEngine:
             memory_hits_before = self.cache.memory_hits
             cached = self.cache.load(key)
             if cached is not None:
-                cached.meta["source"] = (
+                overlays[key] = {"source": (
                     "memory" if self.cache.memory_hits > memory_hits_before
-                    else "disk")
+                    else "disk")}
                 results[key] = cached
             else:
                 cacheable_misses.append((key, request))
@@ -515,9 +713,17 @@ class ExecutionEngine:
         misses = cacheable_misses + uncacheable
         queue_depth = len(misses)
         effective_jobs = resolve_jobs(self.jobs if jobs is None else jobs)
+        effective_timeout = resolve_timeout(
+            self.timeout if timeout is None else timeout)
+        retries = resolve_retries(self.retries)
 
+        # A single miss normally runs in-process, but a timeout can only
+        # be enforced on a killable worker, so it forces the pool path.
         parallelisable, serial = [], list(uncacheable)
-        if effective_jobs > 1 and queue_depth > 1:
+        want_pool = effective_jobs > 1 and (
+            queue_depth > 1
+            or (queue_depth == 1 and effective_timeout is not None))
+        if want_pool:
             for key, request in cacheable_misses:
                 if _is_picklable(request):
                     parallelisable.append((key, request))
@@ -526,59 +732,301 @@ class ExecutionEngine:
         else:
             serial = list(misses)
 
-        computed = {}
+        computed = {}   # key -> (result, wall_s, source)
+        failures = {}   # key -> (FailedResult, exception)
         if parallelisable:
-            workers = min(effective_jobs, len(parallelisable))
-            cache_root = str(self.cache.root)
-            cache_enabled = self.cache.enabled
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(_execute_timed, request,
-                                       cache_root, cache_enabled,
-                                       self.epoch)
-                           for _, request in parallelisable]
-                for (key, _), future in zip(parallelisable, futures):
-                    result, wall = future.result()
-                    computed[key] = (result, wall, "computed-parallel")
+            self._run_parallel(parallelisable, effective_jobs,
+                               effective_timeout, retries, computed,
+                               failures)
         for key, request in serial:
             start = time.perf_counter()
-            result = _execute(request, self.cache, self.epoch)
-            wall = time.perf_counter() - start
-            computed[key] = (result, wall, "computed")
+            try:
+                result = _execute(request, self.cache, self.epoch)
+            except ConfigError:
+                raise
+            except Exception as exc:
+                failures[key] = (self._point_failed(request, exc, 1), exc)
+                continue
+            computed[key] = (result, time.perf_counter() - start,
+                             "computed")
 
         for key, (result, wall, source) in computed.items():
             if not isinstance(key, tuple):
                 self.cache.store(key, result)
-            result.meta.update({"source": source, "wall_s": wall})
+            overlays[key] = {"source": source, "wall_s": wall}
             results[key] = result
+
+        if failures and strict:
+            # Completed points were cached above, so a retried batch
+            # resumes from where this one died.
+            _, exc = next(iter(failures.values()))
+            raise exc
+
+        for key, (failure, _) in failures.items():
+            overlays[key] = {"source": "failed"}
+            results[key] = failure
 
         batch_wall = time.perf_counter() - started
         served = hits + len(computed)
         batch_hit_ratio = hits / served if served else 0.0
-        for key in set(order):
-            result = results[key]
-            result.meta.setdefault("wall_s", 0.0)
-            result.meta.update({
-                "queue_depth": queue_depth,
-                "jobs": effective_jobs,
-                "batch_hit_ratio": batch_hit_ratio,
-            })
+        parallel_done = sum(1 for _, _, source in computed.values()
+                            if source == "computed-parallel")
 
         telemetry = self.telemetry
         telemetry.batches += 1
         telemetry.requested += len(normalized)
         telemetry.unique += len(unique)
         telemetry.computed += len(computed)
-        telemetry.parallel_computed += len(parallelisable)
-        telemetry.serial_computed += len(serial)
+        telemetry.parallel_computed += parallel_done
+        telemetry.serial_computed += len(computed) - parallel_done
         telemetry.disk_hits = self.cache.disk_hits
         telemetry.memory_hits = self.cache.memory_hits
         telemetry.uncacheable += len(uncacheable)
+        telemetry.failed_points += len(failures)
         telemetry.wall_s += batch_wall
         telemetry.max_queue_depth = max(telemetry.max_queue_depth,
                                         queue_depth)
         self._persist_session_stats()
 
-        return [results[key] for key in order]
+        # Per-request shallow copies with independent meta dicts: the
+        # canonical (cached/indexed) objects are never mutated, so a
+        # later batch's telemetry cannot clobber an earlier caller's.
+        common = {
+            "queue_depth": queue_depth,
+            "jobs": effective_jobs,
+            "batch_hit_ratio": batch_hit_ratio,
+        }
+        out = []
+        for key in order:
+            canonical = results[key]
+            view = copy.copy(canonical)
+            view.meta = dict(canonical.meta)
+            view.meta.update(overlays.get(key, {}))
+            view.meta.setdefault("wall_s", 0.0)
+            view.meta.update(common)
+            out.append(view)
+        return out
+
+    # -- parallel execution with recovery ----------------------------------
+
+    def _point_failed(self, request, exc, attempts):
+        failure = FailedResult(
+            system=request.system, benchmark=request.benchmark,
+            size=request.size, error=repr(exc), attempts=attempts)
+        self.journal.emit("point_failed", key=faults.request_key(request),
+                          error=failure.error, attempts=attempts)
+        return failure
+
+    @staticmethod
+    def _shutdown_pool(pool, kill=False):
+        """Tear a pool down; ``kill=True`` terminates worker processes
+        (hung or crashed pools cannot be joined cooperatively)."""
+        if not kill:
+            pool.shutdown(wait=True)
+            return
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        for process in processes:
+            try:
+                process.join(timeout=1.0)
+                if process.is_alive():
+                    process.kill()
+            except Exception:
+                pass
+
+    def _run_parallel(self, points, jobs, timeout, retries, computed,
+                      failures):
+        """Fan ``points`` out over worker pools, surviving crashes.
+
+        Fills ``computed``/``failures`` in place.  Each round submits
+        the still-missing points to a fresh pool; crashed or erroring
+        points queue for the next round (a pool respawn with
+        exponential backoff), up to ``retries`` respawns, after which
+        the leftovers run serially in-process — the fault-free last
+        resort.  Timed-out points are failed immediately, never retried.
+        """
+        telemetry = self.telemetry
+        cache_root = str(self.cache.root)
+        cache_enabled = self.cache.enabled
+        backoff = resolve_backoff()
+        attempts = {key: 0 for key, _ in points}
+        pending = list(points)
+        respawns = 0
+        while pending:
+            workers = min(jobs, len(pending))
+            pool = ProcessPoolExecutor(max_workers=workers)
+            futures = {}
+            for key, request in pending:
+                attempts[key] += 1
+                futures[pool.submit(
+                    _execute_timed, request, cache_root, cache_enabled,
+                    self.epoch)] = (key, request)
+            retry_next, suspects, abandoned = self._collect_round(
+                futures, timeout, attempts, computed)
+            self._shutdown_pool(pool, kill=abandoned)
+            if suspects:
+                retry_next.extend(self._probe_suspects(
+                    suspects, timeout, attempts, computed, failures))
+            if not retry_next:
+                return
+            if respawns >= retries:
+                # Last resort: remaining misses run in-process, where
+                # fault injection never fires and a crash cannot take
+                # the batch down with it.
+                for key, request, exc in retry_next:
+                    telemetry.serial_fallbacks += 1
+                    self.journal.emit(
+                        "serial_fallback",
+                        key=faults.request_key(request),
+                        attempts=attempts[key], last_error=repr(exc))
+                    start = time.perf_counter()
+                    try:
+                        result = _execute(request, self.cache, self.epoch)
+                    except Exception as serial_exc:
+                        failures[key] = (
+                            self._point_failed(request, serial_exc,
+                                               attempts[key] + 1),
+                            serial_exc)
+                        continue
+                    computed[key] = (result, time.perf_counter() - start,
+                                     "computed-serial")
+                return
+            respawns += 1
+            telemetry.pool_respawns += 1
+            telemetry.retries += len(retry_next)
+            delay = backoff * (2 ** (respawns - 1))
+            self.journal.emit("pool_respawn", round=respawns,
+                              pending=len(retry_next),
+                              backoff_s=round(delay, 3))
+            if delay:
+                time.sleep(delay)
+            pending = [(key, request) for key, request, _ in retry_next]
+
+    def _collect_round(self, futures, timeout, attempts, computed):
+        """Harvest one pool round's futures.
+
+        Returns ``(retry_next, suspects, abandoned)``: ``retry_next``
+        lists ``(key, request, last_exc)`` tuples to re-run,
+        ``suspects`` lists ``(key, request)`` points that exceeded the
+        timeout *in this pool* (the executor marks queued work
+        "running" once it enters the call queue, so a suspect may just
+        have been stuck behind a hung worker — only an isolated probe
+        can tell), and ``abandoned`` is True when the pool must be
+        killed rather than drained (a worker crashed, or a suspect may
+        be holding a worker hostage).
+        """
+        pending = set(futures)
+        starts = {}
+        retry_next = []
+        abandoned = False
+        poll = 0.02 if timeout is not None else None
+        while pending:
+            done, not_done = wait(pending, timeout=poll)
+            for future in done:
+                key, request = futures[future]
+                try:
+                    result, wall = future.result()
+                except BrokenProcessPool as exc:
+                    abandoned = True
+                    retry_next.append((key, request, exc))
+                    self.journal.emit("worker_crash",
+                                      key=faults.request_key(request),
+                                      attempt=attempts[key])
+                except Exception as exc:
+                    retry_next.append((key, request, exc))
+                    self.journal.emit("worker_error",
+                                      key=faults.request_key(request),
+                                      attempt=attempts[key],
+                                      error=repr(exc))
+                else:
+                    computed[key] = (result, wall, "computed-parallel")
+            pending = set(not_done)
+            if timeout is None or not pending:
+                continue
+            now = time.monotonic()
+            expired = [future for future in pending
+                       if future.running()
+                       and now - starts.setdefault(future, now) > timeout]
+            if not expired:
+                continue
+            # Something is stuck.  Abandon the pool (a hung worker can
+            # only be freed by killing it); the expired futures become
+            # suspects for isolated probing and every other outstanding
+            # point is requeued for a fresh pool.
+            abandoned = True
+            suspects = []
+            for future in expired:
+                suspects.append(futures[future])
+                pending.discard(future)
+            for future in pending:
+                future.cancel()
+                key, request = futures[future]
+                if future.done() and not future.cancelled():
+                    try:
+                        result, wall = future.result(timeout=0)
+                        computed[key] = (result, wall,
+                                         "computed-parallel")
+                        continue
+                    except Exception:
+                        pass
+                retry_next.append((key, request, None))
+            return retry_next, suspects, abandoned
+        return retry_next, [], abandoned
+
+    def _probe_suspects(self, suspects, timeout, attempts, computed,
+                        failures):
+        """Re-run each timeout suspect alone in a single-worker pool.
+
+        With exactly one task and one worker, "still not done after the
+        timeout" can only mean the point itself is hung, so it is
+        failed; points that were merely queued behind a hung worker
+        complete here and innocents are never falsely killed.  Crashes
+        and worker errors during a probe are returned for the normal
+        retry rounds.
+        """
+        cache_root = str(self.cache.root)
+        cache_enabled = self.cache.enabled
+        retry_next = []
+        for key, request in suspects:
+            attempts[key] += 1
+            pool = ProcessPoolExecutor(max_workers=1)
+            future = pool.submit(_execute_timed, request, cache_root,
+                                 cache_enabled, self.epoch)
+            kill = False
+            try:
+                result, wall = future.result(timeout=timeout)
+                computed[key] = (result, wall, "computed-parallel")
+            except FuturesTimeout:
+                kill = True
+                self.telemetry.timeouts += 1
+                exc = RunTimeout(
+                    "{} exceeded the per-run timeout of {:g}s on "
+                    "attempt {}".format(faults.request_key(request),
+                                        timeout, attempts[key]))
+                self.journal.emit("timeout",
+                                  key=faults.request_key(request),
+                                  timeout_s=timeout,
+                                  attempt=attempts[key])
+                failures[key] = (self._point_failed(request, exc,
+                                                    attempts[key]), exc)
+            except BrokenProcessPool as exc:
+                kill = True
+                retry_next.append((key, request, exc))
+                self.journal.emit("worker_crash",
+                                  key=faults.request_key(request),
+                                  attempt=attempts[key])
+            except Exception as exc:
+                retry_next.append((key, request, exc))
+                self.journal.emit("worker_error",
+                                  key=faults.request_key(request),
+                                  attempt=attempts[key], error=repr(exc))
+            self._shutdown_pool(pool, kill=kill)
+        return retry_next
 
     # -- reporting ---------------------------------------------------------
 
@@ -632,17 +1080,22 @@ def get_engine():
     return _ENGINE
 
 
-def configure(jobs=None, cache_enabled=None):
+def configure(jobs=None, cache_enabled=None, timeout=None, retries=None):
     """Apply CLI/session overrides to the process-wide engine.
 
-    ``jobs=None`` / ``cache_enabled=None`` leave the respective setting
-    following the environment (``REPRO_JOBS`` / ``REPRO_NO_CACHE``).
+    ``None`` leaves the respective setting following the environment
+    (``REPRO_JOBS`` / ``REPRO_NO_CACHE`` / ``REPRO_RUN_TIMEOUT`` /
+    ``REPRO_RETRIES``).
     """
     engine = get_engine()
     if jobs is not None:
         engine.jobs = resolve_jobs(jobs)
     if cache_enabled is not None:
         engine.cache.enabled_override = bool(cache_enabled)
+    if timeout is not None:
+        engine.timeout = resolve_timeout(timeout)
+    if retries is not None:
+        engine.retries = resolve_retries(retries)
     return engine
 
 

@@ -1,0 +1,128 @@
+"""Deterministic fault injection for the execution engine.
+
+Every recovery path in :mod:`repro.sim.engine` — pool respawn after a
+worker crash, per-run timeouts, corrupt-cache-entry recompute — must be
+exercisable in CI without flaky sleeps or real crashes happening by
+accident.  ``REPRO_FAULT_SPEC`` arms a deterministic fault plan:
+
+* ``crash:every=N`` — every Nth simulation a pool worker executes calls
+  ``os._exit``, killing the worker mid-task (the parent sees a
+  ``BrokenProcessPool``).  The counter is per worker process, so a
+  respawned pool starts clean and retries converge.
+* ``hang:key=<prefix>`` — any request whose descriptor
+  (``SYSTEM:benchmark:size``) starts with ``<prefix>`` sleeps forever
+  in the worker, exercising the timeout/cancellation path.
+* ``corrupt-cache:rate=R`` — a deterministic fraction ``R`` of disk
+  cache reads (keyed by a hash of the file name, so the same entries
+  "corrupt" every time) are treated as torn pickles, exercising the
+  drop-and-recompute path.
+
+Clauses are comma-separated: ``crash:every=7,corrupt-cache:rate=0.25``.
+Crash and hang faults fire **only** in pool workers
+(:func:`repro.sim.engine._execute_timed`); the in-process serial path
+never injects, which is what makes serial fallback a guaranteed-success
+last resort and keeps fault runs bit-identical to clean ones.
+"""
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..common.errors import ConfigError
+
+#: Exit status used by injected worker crashes (visible in journals).
+CRASH_EXIT_STATUS = 17
+
+#: Executions performed by *this* process while a crash fault is armed.
+_EXECUTIONS = 0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Parsed ``REPRO_FAULT_SPEC``; falsy when no fault is armed."""
+
+    crash_every: int = 0
+    hang_key: str = ""
+    corrupt_rate: float = 0.0
+
+    def __bool__(self):
+        return bool(self.crash_every or self.hang_key
+                    or self.corrupt_rate)
+
+
+def request_key(request):
+    """The descriptor ``hang:key=`` prefixes match against."""
+    return "{}:{}:{}".format(request.system, request.benchmark,
+                             request.size)
+
+
+@lru_cache(maxsize=8)
+def _parse(spec):
+    crash_every, hang_key, corrupt_rate = 0, "", 0.0
+    for clause in filter(None, (c.strip() for c in spec.split(","))):
+        # Only the first ":" separates the kind from its single
+        # name=value parameter — the value itself may contain ":"
+        # (hang:key=FUSION:adpcm:tiny).
+        kind, _, rest = clause.partition(":")
+        params = {}
+        if rest:
+            name, _, value = rest.partition("=")
+            params[name.strip()] = value.strip()
+        if kind == "crash":
+            try:
+                crash_every = int(params.get("every", "1"))
+            except ValueError:
+                raise ConfigError(
+                    "crash:every= must be an integer, got {!r}"
+                    .format(params.get("every")))
+            if crash_every < 1:
+                raise ConfigError("crash:every= must be >= 1")
+        elif kind == "hang":
+            hang_key = params.get("key", "")
+            if not hang_key:
+                raise ConfigError("hang fault needs key=<prefix>")
+        elif kind == "corrupt-cache":
+            try:
+                corrupt_rate = float(params.get("rate", "1"))
+            except ValueError:
+                raise ConfigError(
+                    "corrupt-cache:rate= must be a float, got {!r}"
+                    .format(params.get("rate")))
+            if not 0.0 <= corrupt_rate <= 1.0:
+                raise ConfigError("corrupt-cache:rate= must be in [0, 1]")
+        else:
+            raise ConfigError(
+                "unknown fault kind {!r} in REPRO_FAULT_SPEC (expected "
+                "crash, hang or corrupt-cache)".format(kind))
+    return FaultPlan(crash_every, hang_key, corrupt_rate)
+
+
+def fault_plan():
+    """The active :class:`FaultPlan` (re-read from the environment)."""
+    return _parse(os.environ.get("REPRO_FAULT_SPEC", "").strip())
+
+
+def on_worker_execute(request):
+    """Crash/hang hook, called before each pool-worker simulation."""
+    plan = fault_plan()
+    if not plan:
+        return
+    if plan.hang_key and request_key(request).startswith(plan.hang_key):
+        while True:  # pragma: no cover - the parent terminates us
+            time.sleep(60)
+    if plan.crash_every:
+        global _EXECUTIONS
+        _EXECUTIONS += 1
+        if _EXECUTIONS % plan.crash_every == 0:
+            os._exit(CRASH_EXIT_STATUS)
+
+
+def should_corrupt(name):
+    """Deterministically pick ``corrupt_rate`` of cache files by name."""
+    plan = fault_plan()
+    if not plan.corrupt_rate:
+        return False
+    digest = hashlib.sha256(name.encode("utf-8")).hexdigest()
+    return (int(digest[:8], 16) % 10000) < plan.corrupt_rate * 10000

@@ -1,14 +1,41 @@
 """Run results: everything the experiment layer needs from one simulation."""
 
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 from ..common.units import to_kb
 from ..energy.accounting import EnergyBreakdown, breakdown_from_stats
 
 
 @dataclass
+class FailedResult:
+    """A simulation point the engine could not complete.
+
+    Returned (in place of a :class:`RunResult`) by non-strict batches
+    after every recovery path — pool respawn retries, serial fallback —
+    was exhausted, or when the point timed out.  Experiment tables and
+    sweeps render these as holes instead of dying; ``error`` carries the
+    ``repr`` of the final exception and ``attempts`` how many executions
+    were tried.
+    """
+
+    #: Discriminator mirrored on :class:`RunResult` (``ok = True``).
+    ok: ClassVar[bool] = False
+
+    system: str
+    benchmark: str
+    size: str = "full"
+    error: str = ""
+    attempts: int = 0
+    #: Engine telemetry, same contract as ``RunResult.meta``.
+    meta: dict = field(default_factory=dict, compare=False, repr=False)
+
+
+@dataclass
 class RunResult:
     """The outcome of running one system on one workload."""
+
+    ok: ClassVar[bool] = True
 
     system: str
     benchmark: str

@@ -91,10 +91,15 @@ def _grid(axes):
 
 def sweep(systems, benchmarks, axes, metrics=("accel_cycles",
                                               "energy_uj"),
-          size="small", base_config=None):
+          size="small", base_config=None, strict=True, timeout=None):
     """Run the grid; returns ``(ExperimentTable, {key: RunResult})``.
 
-    ``key`` is ``(system, benchmark) + axis_labels``.
+    ``key`` is ``(system, benchmark) + axis_labels``.  With
+    ``strict=False`` a point the engine could not complete (worker
+    crash past the retry budget, per-run timeout) becomes a
+    :class:`~repro.sim.results.FailedResult` in ``results`` and a
+    ``FAILED`` hole in the table instead of aborting the whole grid —
+    a 200-point overnight sweep should not die at point 73.
     """
     for metric in metrics:
         if metric not in METRICS:
@@ -121,11 +126,15 @@ def sweep(systems, benchmarks, axes, metrics=("accel_cycles",
                     labels) if labels else config.name)
                 points.append((system, benchmark, labels))
                 requests.append(RunRequest(system, benchmark, size, config))
-    run_results = get_engine().run_batch(requests)
+    run_results = get_engine().run_batch(requests, strict=strict,
+                                         timeout=timeout)
 
     results = {}
     for (system, benchmark, labels), result in zip(points, run_results):
         results[(system, benchmark) + labels] = result
-        table.add_row(system, benchmark, *labels,
-                      *[METRICS[m](result) for m in metrics])
+        if result.ok:
+            cells = [METRICS[m](result) for m in metrics]
+        else:
+            cells = ["FAILED"] * len(metrics)
+        table.add_row(system, benchmark, *labels, *cells)
     return table, results

@@ -175,3 +175,44 @@ def test_profile_command(fresh_engine, capsys):
     assert "FUSION on fft (size=tiny)" in out
     assert "cumulative" in out
     assert "run" in out
+
+
+def test_parser_accepts_timeout_and_retries():
+    args = build_parser().parse_args(
+        ["--timeout", "300", "--retries", "3", "run", "FUSION", "adpcm"])
+    assert args.timeout == 300.0
+    assert args.retries == 3
+
+
+def test_timeout_and_retries_configure_engine(fresh_engine, capsys):
+    from repro.sim.engine import get_engine
+    assert main(["--timeout", "300", "--retries", "3", "config"]) == 0
+    engine = get_engine()
+    assert engine.timeout == 300.0
+    assert engine.retries == 3
+
+
+def test_doctor_quick(fresh_engine, capsys):
+    assert main(["run", "FUSION", "adpcm", "--size", "tiny"]) == 0
+    capsys.readouterr()
+    assert main(["doctor", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "engine configuration" in out
+    assert "cache health" in out
+    assert "1 simulated" in out          # last session's telemetry
+    assert "recovery drills skipped (--quick)" in out
+
+
+def test_cache_stats_reports_orphaned_temp_files(fresh_engine, capsys):
+    from repro.sim.engine import get_engine
+    assert main(["run", "FUSION", "adpcm", "--size", "tiny"]) == 0
+    root = get_engine().cache.root / "v1" / "ab"
+    root.mkdir(parents=True, exist_ok=True)
+    (root / ".tmp-dead-writer").write_bytes(b"x" * 64)
+    capsys.readouterr()
+    assert main(["cache", "stats"]) == 0
+    assert "temp files     : 1" in capsys.readouterr().out
+    assert main(["cache", "clear"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats"]) == 0
+    assert "temp files     : 0" in capsys.readouterr().out

@@ -227,7 +227,12 @@ def test_batch_deduplicates(engine):
     assert engine.telemetry.requested == 4
     assert engine.telemetry.unique == 2
     assert engine.telemetry.computed == 2
-    assert results[0] is results[2] is results[3]
+    # Duplicates simulate once but each caller gets an independent
+    # view: equal outcome, distinct object, distinct meta dict (so one
+    # caller annotating its result cannot corrupt another's).
+    assert results[0] == results[2] == results[3]
+    assert results[0] is not results[2] and results[2] is not results[3]
+    assert results[0].meta is not results[2].meta
 
 
 def test_batch_preserves_request_order(engine):
