@@ -82,6 +82,45 @@ def test_micro_lowered_matches_legacy():
     assert lowered_end == legacy_end
 
 
+def _warm_run_setup():
+    """Warm ACC stack + run-heavy trace for the coalescing pair."""
+    trace = perf_smoke.make_run_trace()
+    core = AxcCore(0, StatsRegistry())
+    l0x = perf_smoke.build_acc_l0x()
+    l0x.invocation_lease = lease = trace.lease_time
+
+    def access_run(op, count, now, horizon, interval):
+        return l0x.access_run(op, count, now, horizon, interval, lease)
+
+    core.run(trace, 0, l0x.access, mlp=4)  # install every line
+    return trace, core, l0x, access_run
+
+
+def test_micro_acc_run_per_op(benchmark):
+    """Ops/sec expanding every access-run op through the L0X protocol."""
+    trace, core, l0x, _ = _warm_run_setup()
+
+    benchmark(lambda: core.run(trace, 0, l0x.access, mlp=4))
+
+
+def test_micro_acc_run_coalesced(benchmark):
+    """Ops/sec with ``access_run`` serving each steady-state run in one
+    protocol step (the run-coalescing fast path)."""
+    trace, core, l0x, access_run = _warm_run_setup()
+
+    benchmark(lambda: core.run(trace, 0, l0x.access, mlp=4,
+                               access_run=access_run))
+
+
+def test_micro_run_coalesced_matches_per_op():
+    """Semantics gate: both protocol paths end at the same cycle."""
+    trace, core, l0x, access_run = _warm_run_setup()
+    per_op_end = core.run(trace, 0, l0x.access, mlp=4)
+    coalesced_end = core.run(trace, 0, l0x.access, mlp=4,
+                             access_run=access_run)
+    assert coalesced_end == per_op_end
+
+
 def test_micro_host_load_hit(benchmark):
     config = small_config()
     mem = HostMemorySystem(config, StatsRegistry())

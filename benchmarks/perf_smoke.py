@@ -12,10 +12,15 @@ ways:
 * **lowered** — the production :meth:`repro.accel.core.AxcCore.run`
   over the compiled stream.
 
-Both paths must produce the *same end time* (semantics check), and the
-lowered/legacy ops-per-second ratio must stay within ``TOLERANCE`` of
-the committed baseline (``benchmarks/results/perf_baseline.json``).
-Comparing the *ratio* rather than absolute ops/sec keeps the gate
+It also measures the run-coalescing fast path the same way: a
+run-heavy synthetic invocation driven through a real ACC L0X/L1X
+protocol stack once op-by-op and once with the controller's
+``access_run`` entry point wired in.
+
+Each pair must produce the *same end time* (semantics check), and each
+fast/slow ops-per-second ratio must stay within ``TOLERANCE`` of the
+committed baseline (``benchmarks/results/perf_baseline.json``).
+Comparing *ratios* rather than absolute ops/sec keeps the gate
 meaningful across machines of different speeds.
 
 Usage::
@@ -57,6 +62,38 @@ def make_trace(num_mem_ops=4096, blocks=64):
             (i % blocks) * 64 + (i % 8) * 8))
     return FunctionTrace(name="perf_smoke", benchmark="perf_smoke",
                          ops=ops, lease_time=1000)
+
+
+def make_run_trace(num_runs=512, run_len=8, blocks=32):
+    """Run-heavy synthetic invocation: ``num_runs`` maximal access runs
+    of ``run_len`` same-line loads, each preceded by a compute chunk (so
+    lowering cannot merge adjacent runs on the same line)."""
+    ops = []
+    for i in range(num_runs):
+        ops.append(ComputeOp(int_ops=3, fp_ops=1))
+        base = (i % blocks) * 64
+        for j in range(run_len):
+            ops.append(MemOp(AccessType.LOAD, base + (j % 8) * 8))
+    return FunctionTrace(name="perf_smoke_runs", benchmark="perf_smoke",
+                         ops=ops, lease_time=1_000_000)
+
+
+def build_acc_l0x():
+    """A minimal but real ACC protocol stack (L0X over L1X over the host
+    memory system) for timing the controller hot path in isolation."""
+    from repro.common.config import small_config
+    from repro.coherence.acc import AccL0XController, AccL1XController
+    from repro.coherence.mesi import HostMemorySystem
+    from repro.interconnect.link import Link
+    from repro.mem.tlb import PageTable
+
+    config = small_config()
+    stats = StatsRegistry()
+    mem = HostMemorySystem(config, stats)
+    l1x = AccL1XController(config, mem, PageTable(), stats)
+    mem.tile_agent = l1x
+    return AccL0XController(0, config, l1x, Link("axc_l1x", 0.4, stats),
+                            Link("fwd", 0.1, stats), stats)
 
 
 def legacy_iter_run(core, trace, start_time, access_fn, mlp,
@@ -162,23 +199,85 @@ def run_measurement():
     }
 
 
-def measure_grid(size="small"):
-    """Wall time of the full Figure 6 grid (all systems, uncached)."""
+def run_coalesce_measurement():
+    """Measure per-op vs run-coalesced protocol serving; returns the
+    metrics dict.
+
+    The same run-heavy trace is driven through a warm ACC L0X twice per
+    repeat: once expanding every op through ``AccL0XController.access``
+    and once with ``access_run`` wired into the core, which serves each
+    steady-state run in one protocol step.  Both paths must end at the
+    same cycle — the run-coalescing layer's bit-identity claim, pinned
+    exhaustively by ``tests/test_golden_full.py`` and
+    ``tests/test_property_coalesce.py``.
+    """
+    trace = make_run_trace()
+    total_mem_ops = sum(1 for op in trace.ops if isinstance(op, MemOp))
+    core = AxcCore(0, StatsRegistry())
+    l0x = build_acc_l0x()
+    lease = trace.lease_time
+    l0x.invocation_lease = lease
+
+    def access_run(op, count, now, horizon, interval):
+        return l0x.access_run(op, count, now, horizon, interval, lease)
+
+    # Warm the L0X (install every line) so both timed paths run in the
+    # steady state the fast path targets; then check semantics.
+    core.run(trace, 0, l0x.access, mlp=4)
+    per_op_end = core.run(trace, 0, l0x.access, mlp=4)
+    coalesced_end = core.run(trace, 0, l0x.access, mlp=4,
+                             access_run=access_run)
+    if per_op_end != coalesced_end:
+        raise AssertionError(
+            "semantics drift: per-op end {} != coalesced end {}".format(
+                per_op_end, coalesced_end))
+
+    per_op_s = _best_seconds(
+        lambda: core.run(trace, 0, l0x.access, mlp=4))
+    coalesced_s = _best_seconds(
+        lambda: core.run(trace, 0, l0x.access, mlp=4,
+                         access_run=access_run))
+    per_op_ops = total_mem_ops / per_op_s
+    coalesced_ops = total_mem_ops / coalesced_s
+    return {
+        "mem_ops": total_mem_ops,
+        "run_length": 8,
+        "per_op_ops_per_s": round(per_op_ops),
+        "coalesced_ops_per_s": round(coalesced_ops),
+        "speedup": round(coalesced_ops / per_op_ops, 3),
+    }
+
+
+def measure_grid(size="small", repeats=3):
+    """Wall time of the full Figure 6 grid (all systems, uncached).
+
+    Best-of-``repeats``: every repeat clears the workload registry and
+    rebuilds from scratch (kernel re-execution happens outside the
+    timer), so each timed pass runs with cold per-trace caches —
+    lowering, DMA windows, MLP characterisation — exactly like a fresh
+    process.  The minimum is robust to scheduler noise on small
+    containers, where single-shot readings can swing by 25%.
+    """
     from repro.common.config import small_config
     from repro.systems import SYSTEMS
-    from repro.workloads.registry import BENCHMARKS, build_workload
+    from repro.workloads import registry
 
     config = small_config()
-    workloads = {name: build_workload(name, size) for name in BENCHMARKS}
-    start = time.perf_counter()
-    for cls in SYSTEMS.values():
-        for workload in workloads.values():
-            cls(config, workload).run()
+    best = float("inf")
+    for _ in range(repeats):
+        registry.clear_caches()
+        workloads = {name: registry.build_workload(name, size)
+                     for name in registry.BENCHMARKS}
+        start = time.perf_counter()
+        for cls in SYSTEMS.values():
+            for workload in workloads.values():
+                cls(config, workload).run()
+        best = min(best, time.perf_counter() - start)
     return {
         "systems": len(SYSTEMS),
-        "benchmarks": len(workloads),
+        "benchmarks": len(registry.BENCHMARKS),
         "size": size,
-        "wall_s": round(time.perf_counter() - start, 3),
+        "wall_s": round(best, 3),
     }
 
 
@@ -196,9 +295,28 @@ def main(argv=None):
     print("legacy : {legacy_ops_per_s:>10,} ops/s".format(**metrics))
     print("lowered: {lowered_ops_per_s:>10,} ops/s".format(**metrics))
     print("speedup: {speedup:.2f}x (lowered over legacy)".format(**metrics))
+    coalesce = run_coalesce_measurement()
+    print("per-op   : {per_op_ops_per_s:>10,} ops/s".format(**coalesce))
+    print("coalesced: {coalesced_ops_per_s:>10,} ops/s".format(**coalesce))
+    print("speedup: {speedup:.2f}x (coalesced over per-op protocol "
+          "serving)".format(**coalesce))
 
     if args.write_baseline:
-        payload = {"micro": metrics, "tolerance": TOLERANCE}
+        payload = {
+            "_provenance": (
+                "Recorded by `PYTHONPATH=src python benchmarks/"
+                "perf_smoke.py --write-baseline --grid` on the dev "
+                "container ({}).  CI gates only the machine-independent "
+                "speedup *ratios* (micro.speedup, "
+                "run_coalesce.speedup); fig6_grid.wall_s is "
+                "machine-dependent provenance for the perf-campaign "
+                "acceptance criterion (>=1.8x vs the PR-2 baseline "
+                "wall_s of 6.838s on this same machine).".format(
+                    time.strftime("%Y-%m-%d"))),
+            "micro": metrics,
+            "run_coalesce": coalesce,
+            "tolerance": TOLERANCE,
+        }
         if args.grid:
             payload["fig6_grid"] = measure_grid()
             print("fig6 {size} grid ({systems} systems x {benchmarks} "
@@ -215,16 +333,24 @@ def main(argv=None):
         print("no baseline at {}; run with --write-baseline".format(
             BASELINE_PATH), file=sys.stderr)
         return 2
-    reference = baseline["micro"]["speedup"]
-    floor = reference * (1.0 - baseline.get("tolerance", TOLERANCE))
-    print("baseline speedup {:.2f}x; floor {:.2f}x".format(
-        reference, floor))
-    if metrics["speedup"] < floor:
-        print("FAIL: lowered hot path regressed more than {:.0%} "
-              "vs baseline".format(baseline.get("tolerance", TOLERANCE)),
-              file=sys.stderr)
+    tolerance = baseline.get("tolerance", TOLERANCE)
+    failed = False
+    gates = [("lowered hot path", baseline["micro"]["speedup"],
+              metrics["speedup"])]
+    if "run_coalesce" in baseline:
+        gates.append(("run coalescing", baseline["run_coalesce"]["speedup"],
+                      coalesce["speedup"]))
+    for label, reference, measured in gates:
+        floor = reference * (1.0 - tolerance)
+        print("{}: baseline speedup {:.2f}x; floor {:.2f}x; "
+              "measured {:.2f}x".format(label, reference, floor, measured))
+        if measured < floor:
+            print("FAIL: {} regressed more than {:.0%} vs baseline".format(
+                label, tolerance), file=sys.stderr)
+            failed = True
+    if failed:
         return 1
-    print("OK: lowered hot path within tolerance")
+    print("OK: hot paths within tolerance")
     return 0
 
 

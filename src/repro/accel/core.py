@@ -16,13 +16,26 @@ behaviour at trace granularity:
 
 Hot path: the core never walks the raw heterogeneous ``trace.ops`` list.
 :mod:`repro.workloads.lowering` compiles each trace once into a flat
-stream of ``(mem_op, block)`` / ``(None, latency)`` tuples — adjacent
-compute ops pre-fused, line addresses pre-aligned — and both
+stream of ``(mem_op, block, count)`` / ``(None, latency, 1)`` tuples —
+adjacent compute ops pre-fused, line addresses pre-aligned, consecutive
+same-line same-kind memory ops grouped into *access runs* — and both
 :meth:`AxcCore.run` (tight loop) and :meth:`AxcCore.iter_run`
 (generator, for the pipelined scheduler) interpret that stream with no
 per-op type dispatch.  The two paths are exercised for equivalence by
 ``tests/test_lowering.py`` and both are pinned bit-identical to the
 legacy interpreter by ``tests/test_golden_full.py``.
+
+Run coalescing: when the caller supplies an ``access_run`` entry point
+(the protocol controllers' run-coalescing fast path), a whole run is
+served by *one* protocol call returning the constant per-op latency;
+the core then replays the issue timeline locally (heap bookkeeping
+only — no per-op protocol traversal, no per-op stats) which is exact
+because every op in the run has the same latency and the same block.
+``access_run`` returns ``None`` to decline (guard failed), in which
+case the run is expanded op-by-op through ``access_fn`` exactly as
+before.  The module-level ``COALESCE_RUNS`` switch (read at call time)
+force-disables the fast path — the coalesced-vs-per-op equivalence
+property test flips it to prove bit-identity.
 
 Energy: Aladdin-style activity counts are charged per compute chunk.
 """
@@ -31,6 +44,10 @@ import heapq
 
 from ..energy.accel_energy import INVOCATION_OVERHEAD_PJ, compute_energy_pj
 from ..workloads.lowering import lowered_trace
+
+#: Global enable for the run-coalescing fast path; tests flip this to
+#: run the same workload through both paths.
+COALESCE_RUNS = True
 
 
 class AxcCore:
@@ -46,7 +63,7 @@ class AxcCore:
         self._add_mshr_merge = self._core_stats.counter("mshr_merges")
 
     def run(self, trace, start_time, access_fn, mlp, issue_interval=1,
-            charge_invocation=True):
+            charge_invocation=True, access_run=None):
         """Execute one invocation to completion; returns the end time.
 
         Args:
@@ -62,6 +79,21 @@ class AxcCore:
                 control/sequencing energy.  SCRATCH passes False for the
                 continuation windows of one invocation — the datapath
                 stays configured across DMA windows.
+            access_run: optional ``(op, count, now, horizon,
+                issue_interval) -> latency | None`` run-coalescing entry
+                point, tried on every access run of length >= 2.
+                Returning the (constant) per-op latency means all
+                ``count`` remaining ops were served — counters flushed,
+                state updated — in one protocol step, and the core
+                replays the timeline locally.  Returning ``None``
+                declines (guard failed): the core expands one op
+                through ``access_fn`` and retries with the remainder,
+                so a run whose first op installs the line still
+                coalesces its tail.  ``horizon`` is
+                ``max(now, max(outstanding))`` —
+                an upper-bound anchor for the controller's lease-span
+                guard (no per-op time inside the run can exceed
+                ``horizon + count * (latency + issue_interval)``).
         """
         mlp = max(1, int(mlp))
         lowered = lowered_trace(trace, self.issue_width)
@@ -73,30 +105,100 @@ class AxcCore:
         pending_fill = fill_time_of.get
         add_mlp_stall = self._add_mlp_stall
         add_mshr_merge = self._add_mshr_merge
-        for op, arg in lowered.steps:
+        run_fn = access_run if COALESCE_RUNS else None
+        for op, arg, count in lowered.steps:
             if op is None:          # fused compute chunk
                 now += arg
                 continue
-            # Retire fills that have arrived.
-            while outstanding and outstanding[0] <= now:
-                heappop(outstanding)
-            # MLP limit: wait for the earliest outstanding fill.
-            if len(outstanding) >= mlp:
-                earliest = heappop(outstanding)
-                if earliest > now:
-                    add_mlp_stall(earliest - now)
-                    now = earliest
-            latency = access_fn(op, now)
-            completion = now + latency
-            # MSHR merge: an access cannot complete before an
-            # already-outstanding fill of the same block.
-            pending = pending_fill(arg)
-            if pending is not None and pending > completion:
-                completion = pending
-                add_mshr_merge()
-            fill_time_of[arg] = completion
-            heappush(outstanding, completion)
-            now += issue_interval  # issue slot(s)
+            if count == 1:
+                # Retire fills that have arrived.
+                while outstanding and outstanding[0] <= now:
+                    heappop(outstanding)
+                # MLP limit: wait for the earliest outstanding fill.
+                if len(outstanding) >= mlp:
+                    earliest = heappop(outstanding)
+                    if earliest > now:
+                        add_mlp_stall(earliest - now)
+                        now = earliest
+                latency = access_fn(op, now)
+                completion = now + latency
+                # MSHR merge: an access cannot complete before an
+                # already-outstanding fill of the same block.
+                pending = pending_fill(arg)
+                if pending is not None and pending > completion:
+                    completion = pending
+                    add_mshr_merge()
+                fill_time_of[arg] = completion
+                heappush(outstanding, completion)
+                now += issue_interval  # issue slot(s)
+                continue
+            # Access run of length >= 2: serve as much of it as possible
+            # through the coalesced fast path.  A declined attempt
+            # expands ONE op through ``access_fn`` and retries with the
+            # remainder — a run usually declines only because its first
+            # op must miss (install the line) or upgrade (acquire a
+            # write epoch); after that op the run is steady state and
+            # the rest coalesces.  Each op is served by exactly one
+            # path, so the expansion is bit-identical to the pure
+            # per-op interpreter whatever the accept/decline pattern.
+            remaining = count
+            while remaining:
+                latency = None
+                if remaining > 1 and run_fn is not None:
+                    horizon = now
+                    if outstanding:
+                        peak = max(outstanding)
+                        if peak > horizon:
+                            horizon = peak
+                    latency = run_fn(op, remaining, now, horizon,
+                                     issue_interval)
+                if latency is not None:
+                    # The protocol served (and accounted) the remaining
+                    # ops at constant per-op latency; replay the issue
+                    # timeline with heap bookkeeping only.
+                    stall = 0
+                    merges = 0
+                    for _ in range(remaining):
+                        while outstanding and outstanding[0] <= now:
+                            heappop(outstanding)
+                        if len(outstanding) >= mlp:
+                            earliest = heappop(outstanding)
+                            if earliest > now:
+                                stall += earliest - now
+                                now = earliest
+                        completion = now + latency
+                        pending = pending_fill(arg)
+                        if pending is not None and pending > completion:
+                            completion = pending
+                            merges += 1
+                        fill_time_of[arg] = completion
+                        heappush(outstanding, completion)
+                        now += issue_interval
+                    if stall:
+                        add_mlp_stall(stall)
+                    if merges:
+                        add_mshr_merge(merges)
+                    break
+                # Expand one op (ops in a run are interchangeable —
+                # same kind, same line — so replaying the first op
+                # preserves per-op semantics exactly).
+                while outstanding and outstanding[0] <= now:
+                    heappop(outstanding)
+                if len(outstanding) >= mlp:
+                    earliest = heappop(outstanding)
+                    if earliest > now:
+                        add_mlp_stall(earliest - now)
+                        now = earliest
+                latency = access_fn(op, now)
+                completion = now + latency
+                pending = pending_fill(arg)
+                if pending is not None and pending > completion:
+                    completion = pending
+                    add_mshr_merge()
+                fill_time_of[arg] = completion
+                heappush(outstanding, completion)
+                now += issue_interval
+                remaining -= 1
         if outstanding:
             now = max(now, max(outstanding))
         self._record(lowered, now - start_time, charge_invocation)
@@ -107,7 +209,13 @@ class AxcCore:
         """Generator form of :meth:`run`: yields the local clock after
         every memory-op issue, so a scheduler can interleave several
         invocations on one tile (pipelined execution).  The generator's
-        return value is the completion time."""
+        return value is the completion time.
+
+        Access runs are always expanded op-by-op here: between yields
+        another invocation may mutate shared protocol state (evict a
+        line, expire a lease), so no run guard evaluated at the start of
+        a run could remain valid across its span.
+        """
         mlp = max(1, int(mlp))
         lowered = lowered_trace(trace, self.issue_width)
         now = start_time
@@ -118,27 +226,28 @@ class AxcCore:
         pending_fill = fill_time_of.get
         add_mlp_stall = self._add_mlp_stall
         add_mshr_merge = self._add_mshr_merge
-        for op, arg in lowered.steps:
+        for op, arg, count in lowered.steps:
             if op is None:
                 now += arg
                 continue
-            while outstanding and outstanding[0] <= now:
-                heappop(outstanding)
-            if len(outstanding) >= mlp:
-                earliest = heappop(outstanding)
-                if earliest > now:
-                    add_mlp_stall(earliest - now)
-                    now = earliest
-            latency = access_fn(op, now)
-            completion = now + latency
-            pending = pending_fill(arg)
-            if pending is not None and pending > completion:
-                completion = pending
-                add_mshr_merge()
-            fill_time_of[arg] = completion
-            heappush(outstanding, completion)
-            now += issue_interval
-            yield now
+            for _ in range(count):
+                while outstanding and outstanding[0] <= now:
+                    heappop(outstanding)
+                if len(outstanding) >= mlp:
+                    earliest = heappop(outstanding)
+                    if earliest > now:
+                        add_mlp_stall(earliest - now)
+                        now = earliest
+                latency = access_fn(op, now)
+                completion = now + latency
+                pending = pending_fill(arg)
+                if pending is not None and pending > completion:
+                    completion = pending
+                    add_mshr_merge()
+                fill_time_of[arg] = completion
+                heappush(outstanding, completion)
+                now += issue_interval
+                yield now
         if outstanding:
             now = max(now, max(outstanding))
         self._record(lowered, now - start_time, charge_invocation)

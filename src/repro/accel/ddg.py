@@ -110,6 +110,34 @@ def _assign_levels(nodes):
         node.level = 1 + max((dep.level for dep in node.deps), default=0)
 
 
+def light_metrics(trace):
+    """Return ``(pipe_mlp, total_ops)`` for one trace by a linear scan.
+
+    ``pipe_mlp`` and ``total_ops`` do not depend on the graph structure —
+    only on the op counts — so this computes exactly the values
+    :func:`analyze` would report for them (same arithmetic, same float
+    results) without building a node per op.  The simulator's MLP lookup
+    (:func:`repro.workloads.characterize.function_mlp`) runs this on
+    every invocation of every workload, where full DDG construction was
+    the single largest fixed cost of a run.
+    """
+    int_ops = fp_ops = 0
+    total_mem = 0
+    chunks = 0
+    for op in trace.ops:
+        if isinstance(op, MemOp):
+            total_mem += 1
+        elif isinstance(op, ComputeOp):
+            int_ops += op.int_ops
+            fp_ops += op.fp_ops
+            chunks += 1
+    pipe_mlp = 1.0
+    if total_mem:
+        pipe_mlp = min(MAX_PIPELINE_MLP,
+                       max(1.0, total_mem / max(1, chunks)))
+    return pipe_mlp, int_ops + fp_ops + total_mem
+
+
 def analyze(trace):
     """Return :class:`DdgMetrics` for one function trace."""
     metrics = DdgMetrics()

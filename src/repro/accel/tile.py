@@ -53,11 +53,15 @@ class AcceleratorTile:
             l0x.forward_hook = self._make_forward_hook(
                 axc_id, forward_plan, lease)
 
-        def access(op, now):
-            return l0x.access(op, now, lease)
+        l0x.invocation_lease = lease
+
+        def access_run(op, count, now, horizon, interval):
+            return l0x.access_run(op, count, now, horizon, interval,
+                                  lease)
 
         try:
-            end = self.cores[axc_id].run(trace, start_time, access, mlp)
+            end = self.cores[axc_id].run(trace, start_time, l0x.access,
+                                         mlp, access_run=access_run)
             end += l0x.flush_dirty(end)
         finally:
             l0x.forward_hook = None

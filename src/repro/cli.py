@@ -168,6 +168,50 @@ def _cmd_config(_args):
     return 0
 
 
+#: ``profile --phase`` buckets: module-path prefixes (under ``repro/``)
+#: mapped to the pipeline phase whose cost they represent.  Matched in
+#: order; the first hit wins.
+_PROFILE_PHASES = (
+    ("lowering", ("workloads/lowering",)),
+    ("protocol", ("coherence/", "mem/", "interconnect/", "host/",
+                  "energy/")),
+    ("engine", ("accel/", "systems/", "sim/", "common/")),
+)
+
+
+def _profile_phase_of(filename):
+    """Classify one profiled filename into a pipeline phase."""
+    norm = filename.replace("\\", "/")
+    marker = norm.rfind("/repro/")
+    if marker < 0:
+        return "other"
+    tail = norm[marker + len("/repro/"):]
+    for phase, prefixes in _PROFILE_PHASES:
+        for prefix in prefixes:
+            if tail.startswith(prefix):
+                return phase
+    return "other"
+
+
+def _print_phase_breakdown(stats):
+    """Aggregate a :class:`pstats.Stats` by pipeline phase (tottime)."""
+    totals = {"lowering": 0.0, "protocol": 0.0, "engine": 0.0,
+              "other": 0.0}
+    calls = dict.fromkeys(totals, 0)
+    for (filename, _line, _name), entry in stats.stats.items():
+        _cc, nc, tt, _ct, _callers = entry
+        phase = _profile_phase_of(filename)
+        totals[phase] += tt
+        calls[phase] += nc
+    overall = sum(totals.values())
+    print("phase breakdown (tottime):")
+    for phase in ("lowering", "protocol", "engine", "other"):
+        share = totals[phase] / overall if overall else 0.0
+        print("  {:<9} {:>8.3f}s  {:>5.1f}%  {:>12,} calls".format(
+            phase, totals[phase], 100.0 * share, calls[phase]))
+    print()
+
+
 def _cmd_profile(args):
     """cProfile one uncached simulation and print the hottest functions.
 
@@ -175,7 +219,10 @@ def _cmd_profile(args):
     see where a *fresh* simulation spends its time.  The workload build
     (kernel generators, DDG analysis, lowering) runs before the profiler
     starts so the report shows the simulation hot path, unless
-    ``--include-build`` asks for the whole pipeline.
+    ``--include-build`` asks for the whole pipeline.  ``--phase``
+    prepends an aggregate breakdown of where the time went: trace
+    lowering, the coherence-protocol/memory layers, or the execution
+    engine (core model, systems, scheduler).
     """
     import cProfile
     import pstats
@@ -198,6 +245,8 @@ def _cmd_profile(args):
         args.system, args.benchmark, args.size, result.accel_cycles,
         result.total_cycles))
     stats = pstats.Stats(profiler, stream=sys.stdout)
+    if args.phase:
+        _print_phase_breakdown(stats)
     stats.sort_stats(args.sort)
     stats.print_stats(args.top)
     return 0
@@ -506,6 +555,9 @@ def build_parser():
     prof_p.add_argument("--include-build", action="store_true",
                         help="profile workload construction and "
                              "lowering too, not just the simulation")
+    prof_p.add_argument("--phase", action="store_true",
+                        help="prepend an aggregate lowering / protocol "
+                             "/ engine phase breakdown")
     prof_p.add_argument("--config", default=None,
                         help="JSON config-override file")
     prof_p.set_defaults(func=_cmd_profile)

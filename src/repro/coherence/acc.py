@@ -38,7 +38,7 @@ from ..mem.cache import SetAssocCache
 from ..mem.rmap import AxRmap
 from ..mem.tlb import AxTlb
 from .lease_policy import FixedLeasePolicy
-from .messages import Msg, send
+from .messages import Msg, counter_pairs as msg_counter_pairs, send, sender
 
 #: L0X -> L1X one-way wire latency inside the tile, cycles.
 TILE_LINK_LATENCY = 1
@@ -81,6 +81,15 @@ class AccL1XController:
         self._add_energy = self.stats.counter("energy_pj")
         self._add_hits = self.stats.counter("hits")
         self._add_misses = self.stats.counter("misses")
+        # Bulk flusher for run-coalesced write-through updates: the
+        # exact per-event increments of ``write_through``, applied
+        # ``count`` at a time (energy replayed term-by-term, so the
+        # result is bit-identical to ``count`` sequential calls).
+        self._flush_write_through = self.stats.registry.flusher([
+            (self.stats.qualified("accesses"), 1),
+            (self.stats.qualified("energy_pj"), self._write_energy),
+            (self.stats.qualified("write_through_updates"), 1),
+        ])
 
     @property
     def tlb(self):
@@ -229,14 +238,21 @@ class AccL1XController:
 
     def write_through(self, vblock, now):
         """A write-through L0X store updates the L1X word directly."""
-        vblock = block_address(vblock)
-        line = self.cache.lookup(vblock, touch=False)
+        return self.write_through_run(vblock, 1)
+
+    def write_through_run(self, vblock, count):
+        """``count`` write-through store words update the L1X line.
+
+        Bit-identical to ``count`` :meth:`write_through` calls: the line
+        is marked dirty (idempotent) and the counters are flushed in
+        bulk.  Returns the constant per-store latency.
+        """
+        line = self.cache.lookup(block_address(vblock), touch=False)
         if line is None:
             raise ProtocolError(
                 "write-through to a block the L1X does not hold")
-        self._charge(is_store=True)
         line.dirty = True
-        self.stats.add("write_through_updates")
+        self._flush_write_through(count)
         return self.config.hit_latency
 
     # -- host MESI integration (tile agent interface) -----------------------
@@ -308,6 +324,46 @@ class AccL0XController:
         self._set_mask = self.config.num_sets - 1
         self._fixed_lease = type(self.lease_policy) is FixedLeasePolicy
         self._hit_latency = self.config.hit_latency
+        # Per-event bulk flushers (StatsRegistry.flusher): the full set
+        # of increments one hit makes, applied once per hit or ``count``
+        # at a time on the run-coalesced fast path — bit-identical to
+        # the unbundled handle calls by the flusher contract.
+        registry = self.stats.registry
+        qualify = self.stats.qualified
+        energy_name = self.shared_stats.qualified("energy_pj")
+        hit_pairs = [(qualify("accesses"), 1),
+                     (energy_name, self._read_energy),
+                     (qualify("hits"), 1)]
+        store_hit_pairs = [(qualify("accesses"), 1),
+                           (energy_name, self._write_energy),
+                           (qualify("hits"), 1)]
+        self._flush_load_hit = registry.flusher(hit_pairs)
+        self._flush_store_hit = registry.flusher(store_hit_pairs)
+        # Write-through store hit additionally ships one WT_DATA word
+        # over the tile link per store (the L1X-side counters are
+        # flushed by ``write_through_run``).
+        self._flush_store_hit_wt = registry.flusher(
+            store_hit_pairs
+            + msg_counter_pairs(axc_link, Msg.WT_DATA,
+                                self.shared_stats, "sent")
+            + [(axc_link.stats.qualified("write_flits"), 1)])
+        # Bound senders for the fixed messages of the miss/writeback
+        # paths (one prebuilt flusher per (link, message) call site).
+        self._send_epoch_read = sender(axc_link, Msg.EPOCH_READ,
+                                       self.shared_stats, "sent")
+        self._send_epoch_write = sender(axc_link, Msg.EPOCH_WRITE,
+                                        self.shared_stats, "sent")
+        self._recv_data_line = sender(axc_link, Msg.DATA_LINE,
+                                      self.shared_stats, "recv")
+        self._flush_writeback = registry.flusher(
+            msg_counter_pairs(axc_link, Msg.WB_DATA,
+                              self.shared_stats, "sent")
+            + [(axc_link.stats.qualified("write_flits"),
+                self.config.line_size // 8),
+               (qualify("writebacks"), 1)])
+        #: Default lease for :meth:`access` calls that omit the ``lease``
+        #: argument; bound by the tile before each invocation.
+        self.invocation_lease = None
         #: FUSION-Dx: ``(l0x, line, now) -> bool`` called on every dirty
         #: self-downgrade; returning True means the line was forwarded to
         #: a consumer L0X instead of written back.  ``None`` disables
@@ -335,53 +391,133 @@ class AccL0XController:
 
     # -- the accelerator-facing access path ---------------------------------
 
-    def access(self, op, now, lease):
+    def access(self, op, now, lease=None):
         """Serve one accelerator memory operation; returns latency.
 
         ``lease`` is the function's configured lease; the controller's
         lease policy (fixed by default, adaptive as an extension) may
-        scale it per cache set.
+        scale it per cache set.  When omitted it defaults to
+        :attr:`invocation_lease`, which the tile binds before each
+        invocation so the core can call this method directly (no
+        per-op closure frame).
 
         This is the single hottest method of a FUSION simulation (one
         call per accelerator memory op), so the hit path is written
-        against the precomputed constants from ``__init__``.
+        against the precomputed constants and prebuilt flushers from
+        ``__init__``.
         """
-        vblock = op.addr & _BLOCK_MASK
-        is_store = op.kind is _STORE
+        vblock = op.block
+        is_store = op.is_store
+        if lease is None:
+            lease = self.invocation_lease
         if not self._fixed_lease:
             lease = self.lease_policy.lease_for(
                 (vblock >> self._set_shift) & self._set_mask, lease)
+        latency = self._hit_latency
+        # Inlined touching lookup (SetAssocCache.lookup): one dict probe
+        # plus the LRU tick, without the method-call frame — this is the
+        # per-op bottleneck of every FUSION run.
+        cache = self.cache
+        line = cache._lines.get(vblock)
+        if line is not None:
+            cache._use_clock = clock = cache._use_clock + 1
+            line.last_use = clock
+        if line is not None and line.lease is not None and \
+                line.lease > now:
+            if not is_store:
+                self._flush_load_hit()
+                return latency
+            if line.state == "W":
+                if not self._write_through:
+                    line.dirty = True
+                    self._flush_store_hit()
+                    return latency
+                self._flush_store_hit_wt()
+                return latency + TILE_LINK_LATENCY + \
+                    self.l1x.write_through_run(vblock, 1)
+            # Upgrade: a read lease does not permit writes.
+            self._add_accesses()
+            self._add_energy(self._write_energy)
+            latency += self._upgrade(line, now + latency, lease)
+            latency += self._record_store(line, now + latency)
+            self._add_hits()
+            return latency
         self._add_accesses()
         self._add_energy(self._write_energy if is_store
                          else self._read_energy)
-        latency = self._hit_latency
-        line = self.cache.lookup(vblock)
-        if line is not None and line.lease is not None and \
-                line.lease > now:
-            if is_store:
-                if line.state != "W":
-                    # Upgrade: a read lease does not permit writes.
-                    latency += self._upgrade(line, now + latency, lease)
-                latency += self._record_store(line, now + latency)
-            self._add_hits()
-            return latency
         if vblock in self._incoming_forwards:
-            latency += self._accept_forward(vblock, now + latency, lease)
+            fwd_latency, line = self._accept_forward(
+                vblock, now + latency, lease)
+            latency += fwd_latency
             self._add_hits()
             self.stats.add("forward_hits")
             if is_store:
-                latency += self._record_store(
-                    self.cache.lookup(vblock), now + latency)
+                # LRU tick the legacy post-install probe made.
+                self.cache.touch_run(line, 1)
+                latency += self._record_store(line, now + latency)
             return latency
         self._add_misses()
-        latency += self._miss(vblock, now + latency, lease, is_store)
+        miss_latency, line = self._miss(vblock, now + latency, lease,
+                                        is_store)
+        latency += miss_latency
         if is_store:
-            line = self.cache.lookup(vblock)
+            # LRU tick the legacy post-install probe made.
+            self.cache.touch_run(line, 1)
             latency += self._record_store(line, now + latency)
         return latency
 
+    def access_run(self, op, count, now, horizon, interval, lease):
+        """Serve a whole same-line access run in one protocol step.
+
+        Returns the constant per-op latency when the steady-state guard
+        holds, or ``None`` to make the core expand the run op-by-op.
+        The guard admits exactly the runs whose per-op expansion would
+        be ``count`` identical hits:
+
+        * fixed lease policy (an adaptive policy observes every access);
+        * line resident with a lease covering every instant the run can
+          reach — ``horizon + count * (latency + interval)`` bounds all
+          per-op clocks, so each per-op ``lease > now`` check passes;
+        * stores: line already in write state (no upgrade inside the
+          run), and under write-through an L1X-resident copy.
+
+        Accounting is flushed in bulk through the prebuilt flushers and
+        the LRU clock advances by ``count`` — bit-identical to the
+        per-op path by construction (``tests/test_property_coalesce.py``
+        and the golden gate are the proof).
+        """
+        if not self._fixed_lease:
+            return None
+        vblock = op.block
+        line = self.cache.lookup(vblock, touch=False)
+        if line is None or line.lease is None:
+            return None
+        latency = self._hit_latency
+        is_store = op.is_store
+        write_through = False
+        if is_store:
+            if line.state != "W":
+                return None
+            if self._write_through:
+                if self.l1x.cache.lookup(vblock, touch=False) is None:
+                    return None
+                latency += TILE_LINK_LATENCY + self.l1x.config.hit_latency
+                write_through = True
+        if line.lease <= horizon + count * (latency + interval):
+            return None
+        self.cache.touch_run(line, count)
+        if not is_store:
+            self._flush_load_hit(count)
+        elif write_through:
+            self._flush_store_hit_wt(count)
+            self.l1x.write_through_run(vblock, count)
+        else:
+            line.dirty = True
+            self._flush_store_hit(count)
+        return latency
+
     def _accept_forward(self, vblock, now, lease):
-        """Install a pending forwarded line (dirty, write state).
+        """Install a pending forwarded line; returns ``(latency, line)``.
 
         The lease travelled with the data — the epoch the producer
         already requested at the L1X, so GTIME still bounds it and no
@@ -396,7 +532,7 @@ class AccL0XController:
         lease_end = self._incoming_forwards.pop(vblock)
         latency = 0
         if lease_end <= now:
-            send(self.axc_link, Msg.EPOCH_WRITE, self.shared_stats, "sent")
+            self._send_epoch_write()
             acquire_latency, lease_end = self.l1x.acquire(
                 vblock, now, lease, is_write=True, pid=self.pid)
             latency += acquire_latency + 2 * TILE_LINK_LATENCY
@@ -404,11 +540,11 @@ class AccL0XController:
         stale = self.cache.lookup(vblock, touch=False)
         if stale is not None:
             self.cache.invalidate(vblock)
-        victim = self.cache.insert(vblock, state="W", dirty=True,
-                                   lease=lease_end, pid=self.pid)
+        line, victim = self.cache.install(vblock, state="W", dirty=True,
+                                          lease=lease_end, pid=self.pid)
         if victim is not None:
             latency += self._self_downgrade(victim, now)
-        return latency
+        return latency, line
 
     def _drain_forward(self, vblock, now):
         """Write an unconsumed forwarded line's dirty data to the L1X."""
@@ -434,7 +570,7 @@ class AccL0XController:
 
     def _upgrade(self, line, now, lease):
         """Acquire a write epoch for a line held under a read lease."""
-        send(self.axc_link, Msg.EPOCH_WRITE, self.shared_stats, "sent")
+        self._send_epoch_write()
         latency, epoch_end = self.l1x.acquire(line.block, now, lease,
                                               is_write=True, pid=self.pid)
         line.state = "W"
@@ -443,7 +579,11 @@ class AccL0XController:
         return 2 * TILE_LINK_LATENCY + latency
 
     def _miss(self, vblock, now, lease, is_store):
-        """Fetch ``vblock`` with a fresh epoch from the shared L1X."""
+        """Fetch ``vblock`` with a fresh epoch from the shared L1X.
+
+        Returns ``(latency, line)`` — the installed line, so the caller
+        records stores into it without a redundant probe.
+        """
         latency = TILE_LINK_LATENCY
         stale = self.cache.lookup(vblock, touch=False)
         if stale is not None:
@@ -454,16 +594,18 @@ class AccL0XController:
                 self.config.set_index(vblock))
             latency += self._self_downgrade(stale, now)
             self.cache.invalidate(vblock)
-        msg = Msg.EPOCH_WRITE if is_store else Msg.EPOCH_READ
-        send(self.axc_link, msg, self.shared_stats, "sent")
+        if is_store:
+            self._send_epoch_write()
+        else:
+            self._send_epoch_read()
         acquire_latency, epoch_end = self.l1x.acquire(
             vblock, now + latency, lease, is_write=is_store, pid=self.pid)
         latency += acquire_latency
-        send(self.axc_link, Msg.DATA_LINE, self.shared_stats, "recv")
+        self._recv_data_line()
         latency += TILE_LINK_LATENCY
         # The response carries the absolute epoch end granted by the
         # L1X — never a locally recomputed one, so GTIME always bounds it.
-        victim = self.cache.insert(
+        line, victim = self.cache.install(
             vblock, state="W" if is_store else "R", lease=epoch_end,
             pid=self.pid)
         if victim is not None:
@@ -472,7 +614,7 @@ class AccL0XController:
                 self.lease_policy.on_wasted_lease(
                     self.config.set_index(victim.block))
             latency += self._self_downgrade(victim, now + latency)
-        return latency
+        return latency, line
 
     def _self_downgrade(self, line, now):
         """Write a dirty line back to the L1X (clean lines drop silently —
@@ -487,11 +629,8 @@ class AccL0XController:
         if self.forward_hook is not None and \
                 self.forward_hook(self, line, now):
             return TILE_LINK_LATENCY
-        send(self.axc_link, Msg.WB_DATA, self.shared_stats, "sent")
-        self.axc_link.stats.add("write_flits",
-                                self.config.line_size // 8)
+        self._flush_writeback()
         line.dirty = False
-        self.stats.add("writebacks")
         return TILE_LINK_LATENCY + self.l1x.writeback_from_l0x(
             line.block, now, pid=self.pid)
 

@@ -30,7 +30,7 @@ from ..interconnect.ring import NucaRing
 from ..mem.cache import SetAssocCache
 from ..mem.dram import MainMemory
 from .directory import HOST, TILE, Directory
-from .messages import Msg, send
+from .messages import Msg, sender
 
 
 class HostMemorySystem:
@@ -68,6 +68,20 @@ class HostMemorySystem:
         self._add_l2_energy = self.l2_stats.counter("energy_pj")
         self._add_l2_hits = self.l2_stats.counter("hits")
         self._add_l2_misses = self.l2_stats.counter("misses")
+        # Prebuilt senders for the fixed tile-link messages (one per
+        # call site): these fire once per L1X miss/eviction and once
+        # per DMA block, where the generic send() dispatch is
+        # measurable.  Bit-identical to send() by construction.
+        mesi = self.mesi_stats
+        link = self.tile_link
+        self._send_recall = sender(link, Msg.RECALL, mesi, "sent")
+        self._recv_putx = sender(link, Msg.PUTX, mesi, "recv")
+        self._recv_puts = sender(link, Msg.PUTS, mesi, "recv")
+        self._send_fwd_getx = sender(link, Msg.FWD_GETX, mesi, "sent")
+        self._send_fwd_gets = sender(link, Msg.FWD_GETS, mesi, "sent")
+        self._send_data_line = sender(link, Msg.DATA_LINE, mesi, "sent")
+        self._send_dma_data_line = sender(link, Msg.DATA_LINE, mesi, "dma")
+        self._send_dma_wb_data = sender(link, Msg.WB_DATA, mesi, "dma")
         #: Registered tile agents by name; the common single-tile case
         #: uses the ``tile_agent`` property (name "tile").
         self.tile_agents = {}
@@ -125,7 +139,7 @@ class HostMemorySystem:
         entry = self.directory.lookup(victim.block)
         for name in sorted(self.directory.tile_sharers(victim.block)):
             # Inclusion recall: the L1X must give the line up.
-            send(self.tile_link, Msg.RECALL, self.mesi_stats, "sent")
+            self._send_recall()
             stall, dirty = self._forward_to_tile(victim.block, now,
                                                  is_store=True,
                                                  tile=name)
@@ -152,8 +166,10 @@ class HostMemorySystem:
         self.mesi_stats.add("fwd_to_tile")
         stall, dirty = agent.handle_forwarded_request(block, now, is_store)
         # The tile answers with an eviction notice (+ data when dirty).
-        send(self.tile_link, Msg.PUTX if dirty else Msg.PUTS,
-             self.mesi_stats, "recv")
+        if dirty:
+            self._recv_putx()
+        else:
+            self._recv_puts()
         entry = self.directory.entry(block)
         entry.remove(tile)
         if dirty:
@@ -166,9 +182,10 @@ class HostMemorySystem:
         for name in sorted(self.directory.tile_sharers(block)):
             if name == exclude:
                 continue
-            send(self.tile_link,
-                 Msg.FWD_GETX if is_store else Msg.FWD_GETS,
-                 self.mesi_stats, "sent")
+            if is_store:
+                self._send_fwd_getx()
+            else:
+                self._send_fwd_gets()
             stall, _ = self._forward_to_tile(block, now, is_store,
                                              tile=name)
             latency += stall
@@ -264,15 +281,17 @@ class HostMemorySystem:
                     l2_line.dirty = True
             entry.remove(HOST)
         entry.set_owner(tile)
-        send(self.tile_link, Msg.DATA_LINE, self.mesi_stats, "sent")
+        self._send_data_line()
         return latency
 
     def tile_writeback(self, pblock, dirty, now=0, tile=TILE):
         """A tile evicts a line (self-downgrade, capacity, or GTIME
         expiry after a forward).  Returns latency."""
         block = block_address(pblock)
-        send(self.tile_link, Msg.PUTX if dirty else Msg.PUTS,
-             self.mesi_stats, "recv")
+        if dirty:
+            self._recv_putx()
+        else:
+            self._recv_puts()
         entry = self.directory.entry(block)
         entry.remove(tile)
         latency = 0
@@ -315,13 +334,13 @@ class HostMemorySystem:
                 if l2_line is not None:
                     l2_line.dirty = True
                 self.mesi_stats.add("dma_host_writebacks")
-        send(self.tile_link, Msg.DATA_LINE, self.mesi_stats, "dma")
+        self._send_dma_data_line()
         return latency
 
     def dma_write(self, pblock, now=0):
         """Coherent DMA write of one dirty scratchpad line into the LLC."""
         block = block_address(pblock)
-        send(self.tile_link, Msg.WB_DATA, self.mesi_stats, "dma")
+        self._send_dma_wb_data()
         latency = self._l2_access(block, is_store=True)
         latency += self._ensure_l2(block, now)
         entry = self.directory.entry(block)

@@ -87,3 +87,30 @@ def send(link, msg, stats=None, counter_prefix=None):
         link.send_msg(MSG_SIZE[msg])
     if stats is not None and counter_prefix is not None:
         stats.add(counter_prefix + "." + _COUNTER_SUFFIX[msg])
+
+
+def counter_pairs(link, msg, stats=None, counter_prefix=None):
+    """The ``(qualified_name, amount)`` increments one :func:`send` makes.
+
+    Building blocks for prebuilt senders and run flushers — every pair
+    carries the same amount the per-call path would add, so bulk
+    application is bit-identical.
+    """
+    pairs = link.counter_pairs(MSG_SIZE[msg], msg in DATA_MESSAGES)
+    if stats is not None and counter_prefix is not None:
+        pairs.append((stats.qualified(
+            counter_prefix + "." + _COUNTER_SUFFIX[msg]), 1))
+    return pairs
+
+
+def sender(link, msg, stats=None, counter_prefix=None):
+    """Return a bound ``send_n(count=1)`` equivalent to ``count`` calls
+    of ``send(link, msg, stats, counter_prefix)``.
+
+    Hot protocol transitions (epoch requests, data responses, DMA
+    traffic) send the *same* message on the *same* link every time; a
+    prebuilt sender skips the enum hashing, size lookup and per-counter
+    handle dispatch of the generic path.
+    """
+    return link.registry.flusher(
+        counter_pairs(link, msg, stats, counter_prefix))

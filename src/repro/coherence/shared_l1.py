@@ -14,7 +14,7 @@ from ..common.units import LINE_SIZE
 from ..energy import cacti
 from ..mem.banking import BankContention
 from ..mem.cache import SetAssocCache
-from .messages import Msg, send
+from .messages import Msg, counter_pairs as msg_counter_pairs, send
 
 #: AXC -> shared L1X switch traversal, one way, cycles.
 SWITCH_LATENCY = 1
@@ -45,7 +45,6 @@ class SharedL1XController:
         self._read_energy = cacti.cache_access_energy_pj(self.config)
         self._write_energy = cacti.cache_access_energy_pj(
             self.config, is_store=True)
-        self.axc_link = None  # attached by the system
         # Hot-path bindings: counter handles plus the set-index shift/mask
         # (line size and set count are powers of two by config validation).
         self._add_accesses = self.stats.counter("accesses")
@@ -55,6 +54,42 @@ class SharedL1XController:
         self._set_shift = self.config.line_size.bit_length() - 1
         self._set_mask = self.config.num_sets - 1
         self._base_latency = SWITCH_LATENCY + self.config.hit_latency
+        self.axc_link = None  # attached by the system (builds flushers)
+
+    @property
+    def axc_link(self):
+        return self._axc_link
+
+    @axc_link.setter
+    def axc_link(self, link):
+        """Attach the tile link and prebuild the hit-path flushers.
+
+        One hit performs a fixed set of increments (request message,
+        cache access/energy/hit, word-sized response); bundling them
+        into one :meth:`StatsRegistry.flusher` serves a whole access —
+        or a whole coalesced run — in a single call, bit-identical to
+        the unbundled sequence.
+        """
+        self._axc_link = link
+        if link is None:
+            self._flush_load_hit = None
+            self._flush_store_hit = None
+            return
+        registry = self.stats.registry
+        qualify = self.stats.qualified
+        self._flush_load_hit = registry.flusher(
+            msg_counter_pairs(link, Msg.GETS, self.stats, "req")
+            + [(qualify("accesses"), 1),
+               (qualify("energy_pj"), self._read_energy),
+               (qualify("hits"), 1)]
+            + msg_counter_pairs(link, Msg.DATA_WORD, self.stats, "resp"))
+        self._flush_store_hit = registry.flusher(
+            msg_counter_pairs(link, Msg.GETX, self.stats, "req")
+            + [(qualify("accesses"), 1),
+               (qualify("energy_pj"), self._write_energy),
+               (qualify("hits"), 1)]
+            + msg_counter_pairs(link, Msg.WT_DATA, self.stats,
+                                "store_data"))
 
     def _charge(self, is_store=False):
         self._add_accesses()
@@ -68,8 +103,20 @@ class SharedL1XController:
         the AXC<->L1X link — the pull-based overhead the FUSION L0X
         exists to filter (Figure 6c).
         """
-        is_store = op.kind is _STORE
+        is_store = op.is_store
         pblock = self.page_table.translate(op.addr) & _BLOCK_MASK
+        line = self.cache.lookup(pblock)
+        if line is not None and self.banks is None:
+            # Steady-state hit with no bank contention modelled: one
+            # prebuilt flush covers the whole request/access/response
+            # increment set.
+            if is_store:
+                line.dirty = True
+                line.state = "M"
+                self._flush_store_hit()
+            else:
+                self._flush_load_hit()
+            return self._base_latency + SWITCH_LATENCY
         send(self.axc_link, Msg.GETX if is_store else Msg.GETS,
              self.stats, "req")
         latency = self._base_latency
@@ -79,11 +126,10 @@ class SharedL1XController:
         self._add_accesses()
         self._add_energy(self._write_energy if is_store else
                          self._read_energy)
-        line = self.cache.lookup(pblock)
         if line is None:
             self._add_misses()
-            latency += self._fill(pblock, now + latency)
-            line = self.cache.lookup(pblock)
+            fill_latency, line = self._fill(pblock, now + latency)
+            latency += fill_latency
         else:
             self._add_hits()
         if is_store:
@@ -94,15 +140,41 @@ class SharedL1XController:
             send(self.axc_link, Msg.DATA_WORD, self.stats, "resp")
         return latency + SWITCH_LATENCY
 
+    def access_run(self, op, count, now, horizon, interval):
+        """Serve a whole same-line access run in one protocol step.
+
+        Guard: bank contention not modelled (the contention model
+        observes every access) and line resident.  Nothing else can
+        change mid-run — the run itself is the only activity in the
+        tile — so residency alone guarantees the per-op expansion would
+        be ``count`` identical hits.  Returns the constant per-op
+        latency, or ``None`` to decline.
+        """
+        if self.banks is not None:
+            return None
+        pblock = self.page_table.translate(op.addr) & _BLOCK_MASK
+        line = self.cache.lookup(pblock, touch=False)
+        if line is None:
+            return None
+        self.cache.touch_run(line, count)
+        if op.is_store:
+            line.dirty = True
+            line.state = "M"
+            self._flush_store_hit(count)
+        else:
+            self._flush_load_hit(count)
+        return self._base_latency + SWITCH_LATENCY
+
     def _fill(self, pblock, now):
+        """Fill ``pblock`` from the host; returns ``(latency, line)``."""
         latency = self.host.fetch_for_tile(pblock, now)
-        victim = self.cache.insert(pblock, state="E", paddr=pblock)
+        line, victim = self.cache.install(pblock, state="E", paddr=pblock)
         if victim is not None:
             self._charge(is_store=False)
             latency += self.host.tile_writeback(victim.paddr, victim.dirty,
                                                 now)
             self.stats.add("evictions")
-        return latency
+        return latency, line
 
     def handle_forwarded_request(self, pblock, now, is_store):
         """Tile-agent interface: a directory forward probes the L1X

@@ -14,6 +14,17 @@ AxcCore`, the links) resolve dotted names once at construction instead
 of re-formatting ``"{prefix}.{name}"`` on every increment.  A handle
 created before :meth:`clear` stays valid afterwards (the counter map is
 cleared in place, never replaced).
+
+:meth:`StatsRegistry.flusher` extends the contract to whole *events*:
+a flusher binds the full list of ``(name, amount)`` increments one
+logical event performs and applies all of them — ``count`` repetitions
+at a time — in a single call.  Flushed results are bit-identical to
+``count`` sequential per-event calls: amounts that are exact in binary
+floating point (integers, and the half-cycle latencies the simulator
+uses) are collapsed to one ``+= amount * count`` add, while energy
+accumulations (``*_pj`` counters, whose per-event amounts are not
+dyadic) are replayed term by term so the rounding sequence matches the
+per-event path exactly.
 """
 
 from collections import defaultdict
@@ -44,6 +55,71 @@ class StatsRegistry:
 
         handle.counter_name = name
         return handle
+
+    def flusher(self, pairs):
+        """Return a bulk handle applying ``pairs`` of ``(name, amount)``.
+
+        The handle is ``flush(count=1)``; calling it is bit-identical to
+        repeating, ``count`` times, one :meth:`add` per pair in order.
+        Repeated names are honoured: non-energy amounts to the same
+        counter are pre-summed (exact — the simulator only feeds dyadic
+        amounts to non-``_pj`` counters), while amounts to ``*_pj``
+        energy counters are replayed in the original per-event order so
+        float rounding matches the sequential path exactly.
+        """
+        counters = self._counters
+        collapsed = {}
+        replayed = []           # (name, [amounts in per-event order])
+        replay_index = {}
+        for name, amount in pairs:
+            if name.endswith("_pj"):
+                index = replay_index.get(name)
+                if index is None:
+                    replay_index[name] = len(replayed)
+                    replayed.append((name, [amount]))
+                else:
+                    replayed[index][1].append(amount)
+            else:
+                collapsed[name] = collapsed.get(name, 0) + amount
+        collapsed_items = list(collapsed.items())
+        # Pre-flattened single-event list: the count == 1 case is by far
+        # the most frequent (every per-op hit), so it pays one loop over
+        # a prebuilt list instead of the two-level iteration.
+        single_items = collapsed_items + [
+            (name, amount) for name, amounts in replayed
+            for amount in amounts]
+
+        def flush(count=1):
+            if count == 1:
+                for name, amount in single_items:
+                    counters[name] += amount
+                return
+            for name, amount in collapsed_items:
+                counters[name] += amount * count
+            for name, amounts in replayed:
+                value = counters[name]
+                if len(amounts) == 1:
+                    amount = amounts[0]
+                    for _ in range(count):
+                        value += amount
+                else:
+                    for _ in range(count):
+                        for amount in amounts:
+                            value += amount
+                counters[name] = value
+
+        flush.pairs = list(pairs)
+        return flush
+
+    @property
+    def registry(self):
+        """The backing registry (self; mirrors :attr:`StatsScope.registry`
+        so code holding either a registry or a scope can reach the root)."""
+        return self
+
+    def qualified(self, name):
+        """Return the fully-qualified counter name (identity here)."""
+        return name
 
     def get(self, name, default=0):
         """Return the value of counter ``name`` (``default`` if absent)."""
@@ -158,6 +234,20 @@ class StatsScope:
 
     def scope(self, prefix):
         return StatsScope(self._registry, self._qualify(prefix))
+
+    def flusher(self, pairs):
+        """Bulk handle over scope-relative ``(name, amount)`` pairs."""
+        return self._registry.flusher(
+            [(self._qualify(name), amount) for name, amount in pairs])
+
+    @property
+    def registry(self):
+        """The root :class:`StatsRegistry` this scope writes into."""
+        return self._registry
+
+    def qualified(self, name):
+        """Return the fully-qualified (prefixed) counter name."""
+        return self._qualify(name)
 
     @property
     def prefix(self):

@@ -59,14 +59,16 @@ class MemOp:
     addr: int
     size: int = 4
     array: str = ""
+    #: Derived fields, precomputed once at construction: every analysis
+    #: and protocol layer asks for the line address and the store flag,
+    #: so recomputing them per use dominated several hot loops.
+    block: int = field(init=False, repr=False, compare=False)
+    is_store: bool = field(init=False, repr=False, compare=False)
 
-    @property
-    def block(self):
-        return block_address(self.addr)
-
-    @property
-    def is_store(self):
-        return self.kind is AccessType.STORE
+    def __post_init__(self):
+        object.__setattr__(self, "block", block_address(self.addr))
+        object.__setattr__(self, "is_store",
+                           self.kind is AccessType.STORE)
 
 
 @dataclass(frozen=True)
@@ -129,12 +131,29 @@ class FunctionTrace:
         return sum(1 for _ in self.mem_ops())
 
     def touched_blocks(self):
-        """Return the set of cache-line addresses this function touches."""
-        return {op.block for op in self.mem_ops()}
+        """Return the set of cache-line addresses this function touches.
+
+        Memoised on the trace (read-only by contract once built; the
+        lowering layer's ``invalidate_lowered`` drops this cache too):
+        every system's dependence/sharing analysis asks again.  Callers
+        must treat the set as frozen.
+        """
+        cached = self.__dict__.get("_touched_blocks")
+        if cached is None:
+            cached = self.__dict__["_touched_blocks"] = {
+                op.block for op in self.mem_ops()}
+        return cached
 
     def dirty_blocks(self):
-        """Return the set of cache-line addresses this function writes."""
-        return {op.block for op in self.mem_ops() if op.is_store}
+        """Return the set of cache-line addresses this function writes.
+
+        Memoised like :meth:`touched_blocks`; treat as frozen.
+        """
+        cached = self.__dict__.get("_dirty_blocks")
+        if cached is None:
+            cached = self.__dict__["_dirty_blocks"] = {
+                op.block for op in self.mem_ops() if op.is_store}
+        return cached
 
 
 @dataclass

@@ -168,15 +168,43 @@ class ScratchpadAccessModel:
             config.tile.scratchpad, is_store=True)
         self._add_accesses = self.stats.counter("accesses")
         self._add_energy = self.stats.counter("energy_pj")
+        # Bulk per-event flushers (one call per access or per coalesced
+        # run; bit-identical to the unbundled handles by construction).
+        registry = self.stats.registry
+        qualify = self.stats.qualified
+        self._flush_load = registry.flusher([
+            (qualify("accesses"), 1),
+            (qualify("energy_pj"), self._read_energy)])
+        self._flush_store = registry.flusher([
+            (qualify("accesses"), 1),
+            (qualify("energy_pj"), self._write_energy)])
 
     def access(self, op, now):
-        is_store = op.kind is _STORE
-        if is_store and not self.scratchpad.contains(op.addr):
-            # Write-first blocks need no DMA staging, just allocation;
-            # the oracle window sizing guarantees the space exists.
-            self.scratchpad.fill(op.addr & _BLOCK_MASK)
-        self.scratchpad.access(op.addr, is_store)
-        self._add_accesses()
-        self._add_energy(self._write_energy if is_store else
-                         self._read_energy)
+        is_store = op.is_store
+        # Write-first blocks need no DMA staging, just allocation; the
+        # oracle window sizing guarantees the space exists (serve()
+        # allocates in place and raises on non-resident loads).
+        self.scratchpad.serve(op.block, is_store)
+        if is_store:
+            self._flush_store()
+        else:
+            self._flush_load()
+        return self.latency
+
+    def access_run(self, op, count, now, horizon, interval):
+        """Serve a whole same-block access run in one step.
+
+        A scratchpad access has no guard to fail: the block is either
+        staged (constant latency for every op of the run) or the oracle
+        DMA mis-sized the window, which raises exactly as the per-op
+        path's first access would.  State converges after the first op
+        (a store marks the block dirty once), so one ``serve`` plus a
+        bulk counter flush is bit-identical to ``count`` accesses.
+        """
+        is_store = op.is_store
+        self.scratchpad.serve(op.block, is_store)
+        if is_store:
+            self._flush_store(count)
+        else:
+            self._flush_load(count)
         return self.latency

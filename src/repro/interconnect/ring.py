@@ -21,6 +21,12 @@ class NucaRing:
         self.hop_latency = hop_latency
         self.requester_node = requester_node
         self.stats = stats.scope("ring")
+        # Bound counter handles: traverse() runs once per host-side
+        # block transfer (DMA streams, host produce/consume), so the
+        # dotted-name resolution is hoisted out of the loop.
+        self._add_traversals = self.stats.counter("traversals")
+        self._add_hops = self.stats.counter("hops")
+        self._add_energy = self.stats.counter("energy_pj")
 
     def bank_of(self, block):
         """Home bank of a block (line-interleaved)."""
@@ -38,10 +44,9 @@ class NucaRing:
         """
         hops = self.hops_to(self.bank_of(block))
         round_trip_hops = 2 * hops
-        self.stats.add("traversals")
-        self.stats.add("hops", round_trip_hops)
-        self.stats.add("energy_pj",
-                       round_trip_hops * num_bytes * RING_HOP_PJ_PER_BYTE)
+        self._add_traversals()
+        self._add_hops(round_trip_hops)
+        self._add_energy(round_trip_hops * num_bytes * RING_HOP_PJ_PER_BYTE)
         return self.base_latency + round_trip_hops * self.hop_latency
 
     def average_latency(self):

@@ -72,7 +72,17 @@ class SetAssocCache:
         self.config = config
         self.name = name
         self._sets = [dict() for _ in range(config.num_sets)]
+        # Flat residency index over all sets: the block address already
+        # determines the set, so `lookup` (by far the hottest query) can
+        # do ONE dict probe with no set-index arithmetic.  The per-set
+        # dicts remain the source of truth for ways limits and LRU
+        # victim selection; every mutation maintains both.
+        self._lines = {}
         self._use_clock = 0
+        # Incremental resident-line count: maintained by insert/evict/
+        # invalidate so `occupancy` (read on stats paths) never rescans
+        # the sets.
+        self._occupancy = 0
         # Hot-path constants (line size and set count are powers of two,
         # enforced by CacheConfig validation).
         self._block_mask = ~(config.line_size - 1)
@@ -97,12 +107,23 @@ class SetAssocCache:
         ``touch`` updates LRU state; pass ``False`` for protocol probes
         that must not perturb replacement (e.g. forwarded-request checks).
         """
-        line = self._sets[(addr >> self._set_shift) & self._set_mask].get(
-            addr & self._block_mask)
+        line = self._lines.get(addr & self._block_mask)
         if line is not None and touch:
             self._use_clock = clock = self._use_clock + 1
             line.last_use = clock
         return line
+
+    def touch_run(self, line, count):
+        """Apply ``count`` LRU touches to ``line`` in one step.
+
+        Equivalent to ``count`` consecutive ``lookup(line.block)`` calls:
+        the use clock advances by ``count`` and the line records the last
+        tick, so replacement order (and therefore every downstream stat)
+        is identical to the per-access path.  Used by the run-coalescing
+        fast paths.
+        """
+        self._use_clock = clock = self._use_clock + count
+        line.last_use = clock
 
     def contains(self, addr):
         """Return whether ``addr``'s line is resident (no LRU update)."""
@@ -119,7 +140,7 @@ class SetAssocCache:
 
     @property
     def occupancy(self):
-        return sum(len(cache_set) for cache_set in self._sets)
+        return self._occupancy
 
     # -- mutation ---------------------------------------------------------
 
@@ -128,6 +149,15 @@ class SetAssocCache:
 
         Raises if the line is already resident — callers must use
         :meth:`lookup` first; double-insertion indicates a protocol bug.
+        """
+        return self.install(addr, **line_fields)[1]
+
+    def install(self, addr, **line_fields):
+        """Like :meth:`insert` but returns ``(line, victim)``.
+
+        Protocol code that needs the just-installed line (e.g. the ACC
+        miss path recording a store into it) uses this to skip a
+        redundant post-insert lookup.
         """
         block = addr & self._block_mask
         cache_set = self._sets[(addr >> self._set_shift) & self._set_mask]
@@ -138,17 +168,26 @@ class SetAssocCache:
         if len(cache_set) >= self._ways:
             victim = self._evict_lru(cache_set)
         self._use_clock = clock = self._use_clock + 1
-        cache_set[block] = CacheLine(block=block, last_use=clock,
-                                     **line_fields)
-        return victim
+        cache_set[block] = line = CacheLine(block=block, last_use=clock,
+                                            **line_fields)
+        self._lines[block] = line
+        self._occupancy += 1
+        return line, victim
 
     def _evict_lru(self, cache_set):
         lru_block = min(cache_set, key=lambda b: cache_set[b].last_use)
+        del self._lines[lru_block]
+        self._occupancy -= 1
         return cache_set.pop(lru_block)
 
     def invalidate(self, addr):
         """Remove ``addr``'s line, returning it (or ``None`` if absent)."""
-        return self._set_for(addr).pop(addr & self._block_mask, None)
+        block = addr & self._block_mask
+        line = self._set_for(addr).pop(block, None)
+        if line is not None:
+            del self._lines[block]
+            self._occupancy -= 1
+        return line
 
     def invalidate_all(self):
         """Flush every line, returning the list of removed lines."""
@@ -156,6 +195,8 @@ class SetAssocCache:
         for cache_set in self._sets:
             removed.extend(cache_set.values())
             cache_set.clear()
+        self._lines.clear()
+        self._occupancy = 0
         return removed
 
     def dirty_lines(self):

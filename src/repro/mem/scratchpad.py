@@ -56,6 +56,31 @@ class Scratchpad:
         if is_store:
             self._blocks[block] = True
 
+    def serve(self, block, is_store):
+        """Hot-path access with a pre-aligned ``block``.
+
+        Semantically ``fill`` (stores to absent blocks — write-first
+        blocks need no DMA staging) followed by ``access``, in one dict
+        probe.  Loads to non-resident blocks raise exactly like
+        :meth:`access`; the same call serves one access or a whole
+        coalesced run (repetition changes no further state).
+        """
+        blocks = self._blocks
+        if block in blocks:
+            if is_store:
+                blocks[block] = True
+            return
+        if is_store:
+            if len(blocks) >= self.config.num_blocks:
+                raise SimulationError(
+                    "{}: overflow installing {:#x}".format(self.name,
+                                                           block))
+            blocks[block] = True
+            return
+        raise SimulationError(
+            "{}: access to non-resident block {:#x} "
+            "(oracle DMA failed to stage it)".format(self.name, block))
+
     def dirty_blocks(self):
         """Return the addresses of blocks written since their fill."""
         return [block for block, dirty in self._blocks.items() if dirty]

@@ -126,12 +126,12 @@ class PipelinedFusionSystem(FusionSystem):
         lease = (self.config.tile.lease_override or trace.lease_time
                  or self.config.tile.default_lease)
         snapshot = self.stats.snapshot()
-
-        def access(op, now):
-            return l0x.access(op, now, lease)
+        # One job per AXC at a time (busy_axcs), so binding the lease on
+        # the controller is race-free even with interleaved invocations.
+        l0x.invocation_lease = lease
 
         generator = self.tile.cores[axc].iter_run(
-            trace, start, access, self._mlp(trace))
+            trace, start, l0x.access, self._mlp(trace))
         job = _Job(index, axc, generator, start)
         job.start = start
         job.snapshot = snapshot

@@ -53,7 +53,8 @@ class ScratchSystem(BaseSystem):
         for window_index, window in enumerate(windows):
             now += self.dma.transfer_in(window.in_blocks, scratchpad, now)
             now = core.run(window.trace, now, model.access, mlp,
-                           charge_invocation=(window_index == 0))
+                           charge_invocation=(window_index == 0),
+                           access_run=model.access_run)
             dirty = scratchpad.drain()
             now += self.dma.transfer_out(dirty, now)
         return now

@@ -31,4 +31,5 @@ class SharedSystem(BaseSystem):
     def _run_invocation(self, index, trace, now):
         core = self.cores[self._axc_of(trace)]
         return core.run(trace, now, self.l1x.access, self._mlp(trace),
-                        issue_interval=ISSUE_INTERVAL)
+                        issue_interval=ISSUE_INTERVAL,
+                        access_run=self.l1x.access_run)

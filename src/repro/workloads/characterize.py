@@ -10,7 +10,7 @@ lease time LT.
 
 from dataclasses import dataclass
 
-from ..accel.ddg import analyze
+from ..accel.ddg import analyze, light_metrics
 from ..common.units import to_kb
 
 
@@ -105,14 +105,31 @@ def function_mlp(workload):
 
     The result is a pure function of the (read-only) workload trace and
     every system construction needs it, so it is memoised on the
-    workload object — building N systems over one workload runs the DDG
-    analysis once, not N times.  Callers must treat the dict as frozen.
+    workload object.  It is computed by :func:`~repro.accel.ddg.
+    light_metrics` — a linear scan producing exactly the ``pipe_mlp``
+    :func:`characterize` would (same counts, same float arithmetic,
+    including the total-ops-weighted merge of repeat invocations) —
+    because building the full DDG just to read the pipelined MLP was
+    the single largest fixed cost of every simulation.
     """
     cached = workload.__dict__.get("_function_mlp")
     if cached is None:
+        merged = {}             # name -> [pipe_mlp, total_ops]
+        for trace in workload.invocations:
+            pipe_mlp, total_ops = light_metrics(trace)
+            entry = merged.get(trace.name)
+            if entry is None:
+                merged[trace.name] = [pipe_mlp, total_ops]
+                continue
+            # Mirror characterize()'s merge expression exactly so the
+            # floats are bit-identical to the Table 1 path.
+            total = entry[1] + total_ops
+            if total:
+                entry[0] = (entry[0] * entry[1]
+                            + pipe_mlp * total_ops) / total
+            entry[1] = total
         cached = workload.__dict__["_function_mlp"] = {
-            profile.name: profile.pipe_mlp
-            for profile in characterize(workload)}
+            name: entry[0] for name, entry in merged.items()}
     return cached
 
 

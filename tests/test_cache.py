@@ -140,6 +140,62 @@ def test_reinsert_after_invalidate_is_legal():
     assert not cache.lookup(0x100).dirty
 
 
+def test_incremental_occupancy_matches_recount():
+    """The O(1) occupancy counter must equal a recomputed sum across
+    every mutation path: insert (with and without eviction),
+    invalidate (hit and no-op), and invalidate_all."""
+    cache = make_cache(size=512, ways=2)  # 4 sets, 8 lines
+    set_stride = 4 * 64
+
+    def recount():
+        return sum(len(s) for s in cache._sets)
+
+    assert cache.occupancy == recount() == 0
+    for i in range(6):                       # plain inserts
+        cache.insert(i * set_stride + (i % 4) * 64)
+        assert cache.occupancy == recount()
+    for i in range(6, 12):                   # inserts that evict
+        cache.insert(i * set_stride)
+        assert cache.occupancy == recount()
+    cache.invalidate(6 * set_stride)         # removing hit
+    assert cache.occupancy == recount()
+    cache.invalidate(0x7F00)                 # absent block: no-op
+    assert cache.occupancy == recount()
+    cache.insert(6 * set_stride)             # re-insert after invalidate
+    assert cache.occupancy == recount()
+    cache.invalidate_all()
+    assert cache.occupancy == recount() == 0
+
+
+def test_install_returns_line_and_victim():
+    cache = make_cache(size=512, ways=2)
+    set_stride = 4 * 64
+    line, victim = cache.install(0, state="W")
+    assert line.block == 0 and line.state == "W"
+    assert victim is None
+    cache.install(set_stride)
+    _, victim = cache.install(2 * set_stride)
+    assert victim.block == 0
+    assert cache.lookup(0, touch=False) is None
+
+
+def test_touch_run_equals_repeated_touching_lookups():
+    a = make_cache(size=512, ways=2)
+    b = make_cache(size=512, ways=2)
+    set_stride = 4 * 64
+    for cache in (a, b):
+        cache.insert(0)
+        cache.insert(set_stride)
+    line = a.lookup(0, touch=False)
+    a.touch_run(line, 3)
+    for _ in range(3):
+        b.lookup(0)
+    # Same LRU outcome and the same internal clock.
+    assert a.insert(2 * set_stride).block == b.insert(
+        2 * set_stride).block == set_stride
+    assert a._use_clock == b._use_clock
+
+
 def test_double_insert_reports_cache_name_and_block():
     cache = make_cache()
     cache.insert(0x1C0)

@@ -175,6 +175,22 @@ def test_profile_command(fresh_engine, capsys):
     assert "FUSION on fft (size=tiny)" in out
     assert "cumulative" in out
     assert "run" in out
+    assert "phase breakdown" not in out
+
+
+def test_profile_phase_breakdown(fresh_engine, capsys):
+    assert main(["profile", "FUSION", "tracking", "--size", "tiny",
+                 "--phase", "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "phase breakdown (tottime):" in out
+    for phase in ("lowering", "protocol", "engine", "other"):
+        assert phase in out
+    # The simulation hot path spends real time in the protocol and
+    # engine layers; the shares are percentages that sum to ~100.
+    shares = [float(line.split("%")[0].split()[-1])
+              for line in out.splitlines() if "%" in line and "s " in line]
+    assert len(shares) == 4
+    assert abs(sum(shares) - 100.0) < 0.5
 
 
 def test_parser_accepts_timeout_and_retries():

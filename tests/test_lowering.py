@@ -39,13 +39,73 @@ def test_lowered_stream_structure():
     assert len(lowered.steps) == 4
     chunk0, mem0, mem1, chunk1 = lowered.steps
     assert chunk0[0] is None
-    assert mem0 == (ops[2], block_address(0x1234))
-    assert mem1 == (ops[4], block_address(0x80))
+    assert mem0 == (ops[2], block_address(0x1234), 1)
+    assert mem1 == (ops[4], block_address(0x80), 1)
     assert chunk1[0] is None
     assert lowered.mem_ops == 2
     assert lowered.int_ops == 6
     assert lowered.fp_ops == 10
     assert lowered.compute_chunks == 2
+    assert lowered.mem_runs == 2
+    assert lowered.coalesced_ops == 0
+
+
+def test_consecutive_same_line_ops_form_one_run():
+    """Maximal same-line same-kind sequences coalesce into one step."""
+    ops = [
+        MemOp(AccessType.LOAD, 0x100),
+        MemOp(AccessType.LOAD, 0x108),   # same line, same kind
+        MemOp(AccessType.LOAD, 0x110),   # same line, same kind
+        MemOp(AccessType.STORE, 0x118),  # same line, kind break
+        MemOp(AccessType.STORE, 0x140),  # line break
+    ]
+    lowered = lower_trace(_trace(ops), issue_width=4)
+    assert lowered.steps == [
+        (ops[0], block_address(0x100), 3),
+        (ops[3], block_address(0x100), 1),
+        (ops[4], block_address(0x140), 1),
+    ]
+    assert lowered.mem_ops == 5
+    assert lowered.mem_runs == 3
+    assert lowered.coalesced_ops == 3
+
+
+def test_compute_chunk_breaks_a_run_but_phase_marker_does_not():
+    """A compute chunk's latency interleaves with the run timeline, so
+    it must terminate the run; a phase marker costs nothing and must
+    not (exactly as it never advanced the legacy timeline)."""
+    ops = [
+        MemOp(AccessType.LOAD, 0x100),
+        PhaseMarker(label="x"),
+        MemOp(AccessType.LOAD, 0x108),
+        ComputeOp(int_ops=4, fp_ops=0),
+        MemOp(AccessType.LOAD, 0x110),
+    ]
+    lowered = lower_trace(_trace(ops), issue_width=4)
+    assert lowered.steps == [
+        (ops[0], block_address(0x100), 2),
+        (None, 1, 1),
+        (ops[4], block_address(0x100), 1),
+    ]
+    assert lowered.mem_runs == 2
+    assert lowered.coalesced_ops == 2
+
+
+def test_subclassed_mem_ops_never_coalesce():
+    class TracedMemOp(MemOp):
+        pass
+
+    ops = [
+        MemOp(AccessType.LOAD, 0x100),
+        TracedMemOp(AccessType.LOAD, 0x108),
+        TracedMemOp(AccessType.LOAD, 0x110),
+        MemOp(AccessType.LOAD, 0x118),
+    ]
+    lowered = lower_trace(_trace(ops), issue_width=4)
+    assert [step[2] for step in lowered.steps] == [1, 1, 1, 1]
+    assert lowered.mem_ops == 4
+    assert lowered.mem_runs == 4
+    assert lowered.coalesced_ops == 0
 
 
 def test_fused_chunk_latency_sums_per_op_latencies():
@@ -56,7 +116,7 @@ def test_fused_chunk_latency_sums_per_op_latencies():
            ComputeOp(int_ops=1, fp_ops=0),   # ceil(1/4) -> 1
            ComputeOp(int_ops=5, fp_ops=0)]   # ceil(5/4) -> 2
     lowered = lower_trace(_trace(ops), issue_width=4)
-    assert lowered.steps == [(None, 4)]
+    assert lowered.steps == [(None, 4, 1)]
     # The naive (wrong) alternative would give ceil(7/4) == 2.
     assert math.ceil(7 / 4) != 4
 
