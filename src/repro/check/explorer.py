@@ -1,0 +1,309 @@
+"""Interleaving exploration over checker worlds.
+
+The explorer owns all nondeterminism: a *schedule* is a tuple of agent
+indices, one per step, and :func:`execute_schedule` replays it on a fresh
+world.  Because worlds cannot be safely deep-copied (the controllers'
+stats handles close over a live registry), the bounded search re-executes
+every prefix from scratch — at checker scale (<= 8 events, tiny caches)
+a full replay costs well under a millisecond, and replay-from-choices is
+exactly what makes every counterexample a self-contained reproducer.
+
+Three entry points:
+
+* :func:`explore` — exhaustive DFS over all interleavings up to a depth
+  bound, with visited-state pruning on the canonical state hash.
+* :func:`random_walks` — seeded random schedules run to completion; the
+  seed is printed with any failure and replays it exactly.
+* :func:`shrink_failure` — greedy minimisation of a failing (scenario,
+  schedule) pair: drop whole events, then truncate the schedule, keeping
+  every candidate that still violates the *same* invariant.
+"""
+
+import random
+from dataclasses import dataclass, field
+
+from .world import build_world
+
+
+class InvalidSchedule(Exception):
+    """A schedule step chose an agent with no events left."""
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """Everything one schedule execution produced."""
+
+    violations: tuple      # Violation records, step-tagged
+    completed: bool        # every agent ran to the end of its script
+    enabled: tuple         # agents still runnable when execution stopped
+    state_hash: str
+    choices: tuple
+    observations: tuple    # (label, seq, block_index, token) per load
+    final_values: tuple    # (block_index, token) after finalize
+    steps: int
+
+    @property
+    def failed(self):
+        return bool(self.violations)
+
+
+@dataclass(frozen=True)
+class Failure:
+    """A violating run, with everything needed to replay it."""
+
+    scenario: object
+    choices: tuple
+    violations: tuple
+    seed: object = None
+    schedule_index: int = None
+
+    def to_dict(self):
+        out = {
+            "scenario": self.scenario.to_dict(),
+            "choices": list(self.choices),
+            "schedule": [self.scenario.agent_labels()[c]
+                         for c in self.choices],
+            "violations": [v.to_dict() for v in self.violations],
+        }
+        if self.seed is not None:
+            out["seed"] = self.seed
+        if self.schedule_index is not None:
+            out["schedule_index"] = self.schedule_index
+        return out
+
+
+@dataclass
+class ExplorationResult:
+    """Aggregate outcome of a bounded exploration of one scenario."""
+
+    scenario: object
+    depth: int
+    interleavings: int = 0    # schedules run to completion (+ finalize)
+    truncated: int = 0        # prefixes cut off at the depth bound
+    pruned: int = 0           # prefixes folded into a visited state
+    states: int = 0           # distinct canonical states seen
+    failure: Failure = None
+    outcomes: set = field(default_factory=set)
+
+    @property
+    def ok(self):
+        return self.failure is None
+
+    def to_dict(self):
+        out = {
+            "scenario": self.scenario.name,
+            "kind": self.scenario.kind,
+            "depth": self.depth,
+            "interleavings": self.interleavings,
+            "truncated": self.truncated,
+            "pruned": self.pruned,
+            "states": self.states,
+            "ok": self.ok,
+        }
+        if self.failure is not None:
+            out["failure"] = self.failure.to_dict()
+        return out
+
+
+def execute_schedule(scenario, choices, mutation=None, finalize=True,
+                     stop_on_violation=True):
+    """Replay ``choices`` on a fresh world; returns a :class:`RunOutcome`.
+
+    ``mutation`` is applied to the world right after construction, i.e.
+    *outside* the shadow instrumentation — the shadow records the truth
+    while the mutation corrupts what the protocol sees.
+    """
+    world = build_world(scenario)
+    if mutation is not None:
+        mutation.apply(world)
+    violations = []
+    steps = 0
+    for index, agent in enumerate(choices):
+        if agent not in world.enabled_agents():
+            raise InvalidSchedule(
+                "step {}: agent {} is not enabled".format(index, agent))
+        violations.extend(v.at_step(index)
+                          for v in world.step(agent))
+        steps += 1
+        if violations and stop_on_violation:
+            break
+    completed = world.done()
+    if finalize and completed and not (violations and stop_on_violation):
+        violations.extend(v.at_step(len(choices))
+                          for v in world.finalize())
+    final_values = tuple(
+        (block, world.final_value(block))
+        for block in range(scenario.num_blocks))
+    return RunOutcome(
+        violations=tuple(violations),
+        completed=completed,
+        enabled=world.enabled_agents(),
+        state_hash=world.state_hash(),
+        choices=tuple(choices),
+        observations=tuple(world.observations),
+        final_values=final_values,
+        steps=steps)
+
+
+def explore(scenario, depth, mutation=None, prune=True, shrink=True):
+    """Exhaustive bounded DFS over all interleavings of ``scenario``.
+
+    Every prefix is replayed from a fresh world.  ``visited`` maps the
+    canonical state hash to the shallowest depth it was reached at; a
+    prefix reaching a known state no deeper than before is pruned — its
+    futures are identical (the hash covers everything that can influence
+    later behaviour, including the clock and the shadow model).
+    """
+    result = ExplorationResult(scenario=scenario, depth=depth)
+    visited = {}
+    stack = [()]
+    while stack:
+        prefix = stack.pop()
+        outcome = execute_schedule(scenario, prefix, mutation=mutation,
+                                   finalize=True)
+        if outcome.failed:
+            failure = Failure(scenario=scenario,
+                              choices=tuple(prefix),
+                              violations=outcome.violations)
+            if shrink:
+                failure = shrink_failure(failure, mutation=mutation)
+            result.failure = failure
+            return result
+        if outcome.completed:
+            result.interleavings += 1
+            result.outcomes.add(outcome.observations +
+                                outcome.final_values)
+            continue
+        if len(prefix) >= depth:
+            result.truncated += 1
+            continue
+        if prune:
+            seen = visited.get(outcome.state_hash)
+            if seen is not None and seen <= len(prefix):
+                result.pruned += 1
+                continue
+            visited[outcome.state_hash] = len(prefix)
+        # reverse-sorted so the DFS pops lower agent ids first
+        for agent in sorted(outcome.enabled, reverse=True):
+            stack.append(prefix + (agent,))
+    result.states = len(visited)
+    return result
+
+
+def random_walks(scenario, schedules, seed, mutation=None, shrink=True):
+    """Run ``schedules`` seeded random interleavings to completion.
+
+    Walk ``k`` draws its choices from
+    ``random.Random("{seed}:{scenario}:{k}")`` — string seeding hashes
+    with SHA-512, so the same arguments replay the same schedules in any
+    process.  Returns ``(runs, failure_or_None)``.
+    """
+    runs = 0
+    for k in range(schedules):
+        rng = random.Random("{}:{}:{}".format(seed, scenario.name, k))
+        world = build_world(scenario)
+        if mutation is not None:
+            mutation.apply(world)
+        choices = []
+        violations = []
+        while True:
+            enabled = world.enabled_agents()
+            if not enabled:
+                violations.extend(
+                    v.at_step(len(choices)) for v in world.finalize())
+                break
+            agent = rng.choice(enabled)
+            choices.append(agent)
+            violations.extend(v.at_step(len(choices) - 1)
+                              for v in world.step(agent))
+            if violations:
+                break
+        runs += 1
+        if violations:
+            failure = Failure(scenario=scenario, choices=tuple(choices),
+                              violations=tuple(violations),
+                              seed=seed, schedule_index=k)
+            if shrink:
+                failure = shrink_failure(failure, mutation=mutation)
+            return runs, failure
+    return runs, None
+
+
+# ---------------------------------------------------------------------------
+# shrinking
+# ---------------------------------------------------------------------------
+
+def _drop_occurrence(choices, agent, occurrence):
+    """Remove the ``occurrence``-th (0-based) choice of ``agent``; later
+    choices of the same agent then drive its later events."""
+    seen = 0
+    for index, choice in enumerate(choices):
+        if choice == agent:
+            if seen == occurrence:
+                return choices[:index] + choices[index + 1:]
+            seen += 1
+    return choices
+
+
+def _still_fails(scenario, choices, invariant, mutation):
+    try:
+        outcome = execute_schedule(scenario, choices, mutation=mutation,
+                                   finalize=True)
+    except InvalidSchedule:
+        return None
+    if outcome.failed and outcome.violations[0].invariant == invariant:
+        return outcome
+    return None
+
+
+def shrink_failure(failure, mutation=None):
+    """Greedily minimise a failure while it violates the same invariant.
+
+    Two moves, applied to fixpoint: delete one whole event from one
+    agent's script (latest events first, adjusting the schedule), then
+    truncate trailing schedule choices.  Each accepted candidate is a
+    full replay, so the shrunk failure is always a genuine reproducer.
+    """
+    invariant = failure.violations[0].invariant
+    scenario = failure.scenario
+    choices = failure.choices
+    violations = failure.violations
+    improved = True
+    while improved:
+        improved = False
+        for agent_index in range(len(scenario.agents)):
+            events = scenario.agents[agent_index].events
+            for event_index in reversed(range(len(events))):
+                candidate = scenario.without_event(agent_index,
+                                                   event_index)
+                try:
+                    candidate.__post_init__()
+                except ValueError:
+                    continue
+                cut = _drop_occurrence(choices, agent_index, event_index)
+                outcome = _still_fails(candidate, cut, invariant,
+                                       mutation)
+                if outcome is None and cut != choices:
+                    outcome = _still_fails(candidate, choices, invariant,
+                                           mutation)
+                    cut = choices if outcome is not None else cut
+                if outcome is not None:
+                    scenario, choices = candidate, cut
+                    violations = outcome.violations
+                    improved = True
+                    break
+            if improved:
+                break
+        if improved:
+            continue
+        while choices:
+            outcome = _still_fails(scenario, choices[:-1], invariant,
+                                   mutation)
+            if outcome is None:
+                break
+            choices = choices[:-1]
+            violations = outcome.violations
+            improved = True
+    return Failure(scenario=scenario, choices=choices,
+                   violations=violations, seed=failure.seed,
+                   schedule_index=failure.schedule_index)

@@ -1,0 +1,140 @@
+"""Top-level checker runs: what ``fusion-sim check`` executes.
+
+:func:`run_check` is the correctness gate — exhaustive bounded
+exploration of the curated catalog, seeded random walks over generated
+scenarios, and the litmus suite.  :func:`run_self_test` is the checker's
+own gate — every seeded mutation must be caught.  Both return plain
+dicts (JSON-able) and an ``ok`` flag; the CLI turns ``ok`` into the
+process exit code.
+
+Every failure is shrunk and reported with the exact command line that
+replays it: the scenario generator and the walk scheduler both derive
+all randomness from string seeds, so ``--seed`` is a complete
+reproducer.
+"""
+
+from .explorer import explore, random_walks
+from .litmus import LITMUS_TESTS, run_litmus
+from .mutations import MUTATIONS, self_test
+from .scenarios import KINDS, by_name, catalog, random_scenario
+
+#: Random scenarios generated per kind in one ``run_check``.
+RANDOM_PER_KIND = 3
+
+
+def _repro_command(depth, seed, schedules, mutation):
+    parts = ["fusion-sim check", "--depth", str(depth),
+             "--seed", str(seed), "--schedules", str(schedules)]
+    if mutation is not None:
+        parts += ["--mutate", mutation.name]
+    return " ".join(parts)
+
+
+def _failure_entry(failure, depth, seed, schedules, mutation):
+    entry = failure.to_dict()
+    entry["repro"] = _repro_command(depth, seed, schedules, mutation)
+    return entry
+
+
+def run_check(depth=8, seed=0, schedules=20, kinds=KINDS,
+              scenario_name=None, mutation_name=None,
+              with_litmus=True, randoms=RANDOM_PER_KIND):
+    """The full correctness sweep; returns a JSON-able report dict.
+
+    ``mutation_name`` injects one seeded bug into every world — the
+    sweep is then *expected* to fail, and the report shows what caught
+    it (this is the ``--mutate`` debugging/repro path; the systematic
+    all-mutations gate is :func:`run_self_test`).
+    """
+    mutation = MUTATIONS[mutation_name] if mutation_name else None
+    if scenario_name is not None:
+        scenarios = [by_name(scenario_name)]
+    else:
+        scenarios = list(catalog(kinds))
+        for kind in kinds:
+            scenarios.extend(random_scenario(kind, seed, index)
+                             for index in range(randoms))
+    if mutation is not None:
+        scenarios = [s for s in scenarios if s.kind in mutation.kinds]
+    report = {
+        "depth": depth, "seed": seed, "schedules": schedules,
+        "kinds": list(kinds), "mutation": mutation_name,
+        "explorations": [], "walks": [], "litmus": [],
+        "interleavings": 0, "states": 0,
+    }
+    failures = []
+    for scenario in scenarios:
+        bound = min(depth, scenario.total_events)
+        result = explore(scenario, depth=bound, mutation=mutation)
+        entry = result.to_dict()
+        report["explorations"].append(entry)
+        report["interleavings"] += result.interleavings
+        report["states"] += result.states
+        if result.failure is not None:
+            failures.append(_failure_entry(result.failure, depth, seed,
+                                           schedules, mutation))
+        runs, walk_failure = random_walks(scenario, schedules, seed,
+                                          mutation=mutation)
+        walk_entry = {"scenario": scenario.name, "runs": runs,
+                      "ok": walk_failure is None}
+        report["walks"].append(walk_entry)
+        if walk_failure is not None:
+            failures.append(_failure_entry(walk_failure, depth, seed,
+                                           schedules, mutation))
+    if with_litmus and scenario_name is None:
+        for test in LITMUS_TESTS:
+            if mutation is not None and \
+                    test.scenario.kind not in mutation.kinds:
+                continue
+            result = run_litmus(test, mutation=mutation)
+            report["litmus"].append(result.to_dict())
+    report["failures"] = failures
+    litmus_ok = all(entry["ok"] for entry in report["litmus"])
+    report["ok"] = not failures and litmus_ok
+    return report
+
+
+def run_self_test(depth=None, kinds=None):
+    """The mutation self-test: every seeded bug must be caught."""
+    return self_test(depth=depth, kinds=kinds)
+
+
+def summarize(report):
+    """Human-readable lines for a :func:`run_check` report."""
+    lines = []
+    lines.append(
+        "explored {} scenarios: {} interleavings, {} states".format(
+            len(report["explorations"]), report["interleavings"],
+            report["states"]))
+    walks = sum(entry["runs"] for entry in report["walks"])
+    lines.append("random walks: {} schedules (seed {})".format(
+        walks, report["seed"]))
+    for entry in report["litmus"]:
+        lines.append("litmus {:20s} {} ({} interleavings)".format(
+            entry["litmus"], "ok" if entry["ok"] else "FAIL",
+            entry["interleavings"]))
+    for failure in report["failures"]:
+        violation = failure["violations"][0]
+        lines.append("FAIL {}: [{}] {}".format(
+            failure["scenario"]["name"], violation["invariant"],
+            violation["detail"]))
+        lines.append("  schedule: {}".format(
+            " ".join(failure["schedule"])))
+        lines.append("  repro: {}".format(failure["repro"]))
+    lines.append("result: {}".format("OK" if report["ok"] else "FAIL"))
+    return lines
+
+
+def summarize_self_test(report):
+    """Human-readable lines for a :func:`run_self_test` report."""
+    lines = []
+    for entry in report["mutations"]:
+        if entry["caught"]:
+            lines.append("mutation {:22s} caught by {} ({})".format(
+                entry["mutation"], entry["invariant"],
+                entry["scenario"]))
+        else:
+            lines.append("mutation {:22s} MISSED (expected {})".format(
+                entry["mutation"], ", ".join(entry["expected"])))
+    lines.append("result: {}".format("OK" if report["ok"] else "FAIL"))
+    return lines

@@ -454,6 +454,35 @@ def _cmd_doctor(args):
     return 0
 
 
+def _cmd_check(args):
+    """Coherence model checking: exhaustive bounded exploration, seeded
+    random walks and litmus tests over the real controllers (or, with
+    ``--self-test``, the mutation suite the checker must catch)."""
+    import json
+
+    from . import check as check_mod
+
+    kinds = tuple(args.kind) if args.kind else None
+    if args.self_test:
+        report = check_mod.run_self_test(depth=args.depth, kinds=kinds)
+        lines = check_mod.summarize_self_test(report)
+    else:
+        from .check.scenarios import KINDS
+        report = check_mod.run_check(
+            depth=args.depth if args.depth is not None else 8,
+            seed=args.seed, schedules=args.schedules,
+            kinds=kinds or KINDS,
+            scenario_name=args.scenario,
+            mutation_name=args.mutate)
+        lines = check_mod.summarize(report)
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        for line in lines:
+            print(line)
+    return 0 if report["ok"] else 1
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="fusion-sim",
@@ -566,6 +595,39 @@ def build_parser():
                              help="persistent result-cache maintenance")
     cache_p.add_argument("action", choices=("stats", "clear"))
     cache_p.set_defaults(func=_cmd_cache)
+
+    chk_p = sub.add_parser("check",
+                           help="coherence model checker: bounded "
+                                "interleaving exploration, litmus tests "
+                                "and the mutation self-test")
+    chk_p.add_argument("--depth", type=int, default=None, metavar="N",
+                       help="interleaving exploration depth bound "
+                            "(default 8; self-test defaults to each "
+                            "scenario's full script)")
+    chk_p.add_argument("--seed", type=int, default=0, metavar="S",
+                       help="seed for random scenarios and random-walk "
+                            "schedules; a failure's printed seed "
+                            "replays it exactly (default 0)")
+    chk_p.add_argument("--schedules", type=int, default=20, metavar="K",
+                       help="random-walk schedules per scenario "
+                            "(default 20)")
+    chk_p.add_argument("--kind", action="append", default=None,
+                       choices=("acc", "shared", "dx"),
+                       help="restrict to one protocol kind "
+                            "(repeatable; default: all)")
+    chk_p.add_argument("--scenario", default=None, metavar="NAME",
+                       help="run only one catalog scenario (skips "
+                            "litmus tests)")
+    chk_p.add_argument("--mutate", default=None, metavar="NAME",
+                       help="inject one named protocol mutation; the "
+                            "run is then expected to fail (debugging "
+                            "and repro aid)")
+    chk_p.add_argument("--self-test", action="store_true",
+                       help="verify every seeded mutation is caught "
+                            "instead of checking the correct protocol")
+    chk_p.add_argument("--json", action="store_true",
+                       help="emit the full report as JSON")
+    chk_p.set_defaults(func=_cmd_check)
 
     doc_p = sub.add_parser("doctor",
                            help="engine health report and live "

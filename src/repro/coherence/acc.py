@@ -202,7 +202,9 @@ class AccL1XController:
             latency += victim.gtime - now
             self.stats.add("gtime_eviction_stalls")
         if victim.paddr is None:
-            raise ProtocolError("L1X line without a physical address")
+            raise ProtocolError("L1X line without a physical address",
+                                agent=self.agent_name, block=victim.block,
+                                invariant="rmap-bijection")
         self.rmap.remove(victim.paddr)
         self._charge(is_store=False)  # read the line out
         latency += self.host.tile_writeback(victim.paddr, victim.dirty,
@@ -210,9 +212,19 @@ class AccL1XController:
         self.stats.add("evictions")
         return latency
 
-    def writeback_from_l0x(self, vblock, now, pid=0):
+    def writeback_from_l0x(self, vblock, now, pid=0, epoch_end=None):
         """A self-downgrading L0X wrote a dirty line back; releases the
         write-epoch lock.  Returns the L1X-side latency.
+
+        ``epoch_end`` identifies the epoch the data was written under
+        (the writing line's lease).  The lock is only released when that
+        is the epoch currently holding it: a *stale* writeback — dirty
+        data from an expired epoch arriving after a newer write epoch
+        was granted to another L0X — must not unlock the newer epoch,
+        or two live write epochs could coexist (found by
+        ``repro.check``'s swmr invariant).  ``None`` means the caller
+        does not track epochs and keeps the historical always-release
+        behaviour.
 
         If the L1X already evicted the line (in hardware the eviction
         notice stalls until this writeback; the lazy model can observe
@@ -232,7 +244,10 @@ class AccL1XController:
                 tile=self.agent_name)
         self._charge(is_store=True)
         line.dirty = True
-        line.write_epoch_end = None
+        if epoch_end is None or line.write_epoch_end == epoch_end:
+            line.write_epoch_end = None
+        else:
+            self.stats.add("stale_epoch_writebacks")
         self.stats.add("l0x_writebacks")
         return self.config.hit_latency
 
@@ -250,7 +265,9 @@ class AccL1XController:
         line = self.cache.lookup(block_address(vblock), touch=False)
         if line is None:
             raise ProtocolError(
-                "write-through to a block the L1X does not hold")
+                "write-through to a block the L1X does not hold",
+                agent=self.agent_name, block=block_address(vblock),
+                invariant="write-through-residency")
         line.dirty = True
         self._flush_write_through(count)
         return self.config.hit_latency
@@ -531,15 +548,22 @@ class AccL0XController:
         """
         lease_end = self._incoming_forwards.pop(vblock)
         latency = 0
+        stale = self.cache.lookup(vblock, touch=False)
+        if stale is not None:
+            # An expired copy of our own may still hold dirty data from
+            # an earlier epoch; it must self-downgrade like any other
+            # stale line (``_miss`` does the same) — and before any
+            # renewal below, because the writeback releases the L1X's
+            # write-epoch lock.  Found by ``repro.check``: dropping it
+            # here silently lost the dirty value.
+            latency += self._self_downgrade(stale, now)
+            self.cache.invalidate(vblock)
         if lease_end <= now:
             self._send_epoch_write()
             acquire_latency, lease_end = self.l1x.acquire(
                 vblock, now, lease, is_write=True, pid=self.pid)
             latency += acquire_latency + 2 * TILE_LINK_LATENCY
             self.stats.add("forward_renewals")
-        stale = self.cache.lookup(vblock, touch=False)
-        if stale is not None:
-            self.cache.invalidate(vblock)
         line, victim = self.cache.install(vblock, state="W", dirty=True,
                                           lease=lease_end, pid=self.pid)
         if victim is not None:
@@ -548,14 +572,14 @@ class AccL0XController:
 
     def _drain_forward(self, vblock, now):
         """Write an unconsumed forwarded line's dirty data to the L1X."""
-        del self._incoming_forwards[vblock]
+        lease_end = self._incoming_forwards.pop(vblock)
         send(self.axc_link, Msg.WB_DATA, self.shared_stats, "sent")
         self.axc_link.stats.add("write_flits",
                                 self.config.line_size // 8)
         self.stats.add("writebacks")
         self.stats.add("unclaimed_forwards")
         return TILE_LINK_LATENCY + self.l1x.writeback_from_l0x(
-            vblock, now, pid=self.pid)
+            vblock, now, pid=self.pid, epoch_end=lease_end)
 
     def _record_store(self, line, now):
         if self._write_through:
@@ -632,7 +656,7 @@ class AccL0XController:
         self._flush_writeback()
         line.dirty = False
         return TILE_LINK_LATENCY + self.l1x.writeback_from_l0x(
-            line.block, now, pid=self.pid)
+            line.block, now, pid=self.pid, epoch_end=line.lease)
 
     # -- invocation boundaries ----------------------------------------------
 

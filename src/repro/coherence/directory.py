@@ -26,32 +26,35 @@ class DirectoryEntry:
 
     sharers: set = field(default_factory=set)
     owner: str = None
+    block: int = None  # back-reference for error context only
 
     @property
     def is_idle(self):
         return self.owner is None and not self.sharers
 
     def add_sharer(self, agent):
-        _check_agent(agent)
+        _check_agent(agent, self.block)
         if self.owner is not None and self.owner != agent:
             raise ProtocolError(
                 "adding sharer {} while {} owns the block".format(
-                    agent, self.owner))
+                    agent, self.owner),
+                agent=agent, block=self.block, invariant="single-owner")
         self.sharers.add(agent)
 
     def set_owner(self, agent):
-        _check_agent(agent)
+        _check_agent(agent, self.block)
         others = (self.sharers - {agent}) | (
             {self.owner} - {agent, None})
         if others:
             raise ProtocolError(
                 "granting ownership to {} while {} still cache the "
-                "block".format(agent, sorted(others)))
+                "block".format(agent, sorted(others)),
+                agent=agent, block=self.block, invariant="exclusive-owner")
         self.owner = agent
         self.sharers = {agent}
 
     def remove(self, agent):
-        _check_agent(agent)
+        _check_agent(agent, self.block)
         self.sharers.discard(agent)
         if self.owner == agent:
             self.owner = None
@@ -60,9 +63,11 @@ class DirectoryEntry:
         return agent in self.sharers or self.owner == agent
 
 
-def _check_agent(agent):
+def _check_agent(agent, block=None):
     if not isinstance(agent, str) or not agent:
-        raise ProtocolError("unknown coherence agent {!r}".format(agent))
+        raise ProtocolError("unknown coherence agent {!r}".format(agent),
+                            agent=repr(agent), block=block,
+                            invariant="known-agent")
 
 
 class Directory:
@@ -76,7 +81,7 @@ class Directory:
         """Return the entry for ``block``, creating an idle one if new."""
         entry = self._entries.get(block)
         if entry is None:
-            entry = DirectoryEntry()
+            entry = DirectoryEntry(block=block)
             self._entries[block] = entry
         return entry
 

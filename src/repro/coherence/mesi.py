@@ -162,7 +162,8 @@ class HostMemorySystem:
         if agent is None:
             raise ProtocolError(
                 "directory names {!r} as a sharer but no such tile "
-                "agent is registered".format(tile))
+                "agent is registered".format(tile),
+                agent=tile, block=block, invariant="registered-agent")
         self.mesi_stats.add("fwd_to_tile")
         stall, dirty = agent.handle_forwarded_request(block, now, is_store)
         # The tile answers with an eviction notice (+ data when dirty).

@@ -6,13 +6,28 @@ names the message it sends so that traffic statistics (Figure 6c,
 Table 4) use one consistent vocabulary.
 """
 
+import zlib
 from enum import Enum, auto
 
 from ..common.units import CONTROL_MSG_SIZE, LINE_SIZE
 
 
 class Msg(Enum):
-    """Every message type exchanged in the system."""
+    """Every message type exchanged in the system.
+
+    Message identity is *stable*: ``repr``, equality and ``hash`` depend
+    only on the message name, never on ``auto()`` ordering or the
+    process's hash seed.  The model checker (:mod:`repro.check`) folds
+    messages into state hashes that must be reproducible across runs and
+    processes, and counterexample traces print messages — both need
+    identity that survives reordering this enum or restarting Python.
+    """
+
+    def __repr__(self):
+        return "Msg.{}".format(self.name)
+
+    def __hash__(self):
+        return self._stable_hash
 
     # Requests (control, one flit)
     GETS = auto()          # read request
@@ -35,6 +50,14 @@ class Msg(Enum):
     RECALL = auto()        # inclusion-victim recall (L2 -> L1X)
     # FUSION-Dx
     FWD_LINE = auto()      # direct L0X -> L0X forwarded line
+
+
+# Assigned after the class body: inside it, auto() needs the default
+# Enum machinery, and a name-derived hash must not depend on definition
+# order anyway.  crc32 (unlike str.__hash__) ignores PYTHONHASHSEED.
+for _msg in Msg:
+    _msg._stable_hash = zlib.crc32(_msg.name.encode("ascii"))
+del _msg
 
 
 #: Payload size of each message in bytes.

@@ -189,12 +189,18 @@ class SharedL1XController:
         return 0, line.dirty
 
     def flush(self, now):
-        """Drain every dirty line back to the host (end of workload)."""
+        """Drain every dirty line back to the host (end of workload).
+
+        The writeback is a PUTX: the directory drops the tile as a
+        sharer, so the line must leave the cache too — keeping it
+        resident would let a later access hit a copy the host no longer
+        knows to invalidate (found by ``repro.check``'s mei-directory
+        invariant)."""
         latency = 0
         for line in list(self.cache.dirty_lines()):
             self._charge(is_store=False)
             latency += self.host.tile_writeback(line.paddr, dirty=True,
                                                 now=now)
-            line.dirty = False
+            self.cache.invalidate(line.block)
             self.stats.add("flush_writebacks")
         return latency

@@ -22,7 +22,58 @@ class ProtocolError(ReproError):
 
     Raising (rather than silently patching state) is deliberate: protocol
     bugs in a simulator corrupt every downstream statistic, so we fail fast.
+
+    The optional keyword context (``agent``, ``block``, ``epoch``,
+    ``invariant``) travels with the exception so the model checker
+    (:mod:`repro.check`) and normal-run failures alike can print *which*
+    agent broke *which* invariant on *which* block — a bare message forces
+    whoever hits the error to re-derive all of that from a stack trace.
     """
+
+    def __init__(self, message, *, agent=None, block=None, epoch=None,
+                 invariant=None):
+        super().__init__(message)
+        self.message = message
+        self.agent = agent
+        self.block = block
+        self.epoch = epoch
+        self.invariant = invariant
+
+    @property
+    def context(self):
+        """The populated context fields as a dict (stable key order)."""
+        items = (("agent", self.agent), ("block", self.block),
+                 ("epoch", self.epoch), ("invariant", self.invariant))
+        return {key: value for key, value in items if value is not None}
+
+    def __str__(self):
+        context = self.context
+        if not context:
+            return self.message
+        rendered = " ".join(
+            "{}={:#x}".format(key, value)
+            if key == "block" and isinstance(value, int)
+            else "{}={}".format(key, value)
+            for key, value in context.items())
+        return "{} [{}]".format(self.message, rendered)
+
+    def __reduce__(self):
+        # Exceptions cross process boundaries (the execution engine's
+        # worker pools); the default reduction re-calls
+        # ``cls(*self.args)`` and would drop the keyword context.
+        return (_rebuild_protocol_error,
+                (type(self), self.message, self.agent, self.block,
+                 self.epoch, self.invariant))
+
+
+def _rebuild_protocol_error(cls, message, agent, block, epoch, invariant):
+    return cls(message, agent=agent, block=block, epoch=epoch,
+               invariant=invariant)
+
+
+#: The name the model checker and litmus harness use for protocol
+#: violations; an alias so call sites read as what they mean.
+CoherenceError = ProtocolError
 
 
 class SimulationError(ReproError):

@@ -9,6 +9,18 @@ import os
 
 import pytest
 
+try:
+    from hypothesis import settings as _hyp_settings
+
+    # On failure, print the @reproduce_failure blob alongside the
+    # falsifying example, so a property-test failure in CI is
+    # reproducible from the log alone (paired with the note() calls in
+    # the property tests that print the generated workload spec).
+    _hyp_settings.register_profile("repro", print_blob=True)
+    _hyp_settings.load_profile("repro")
+except ImportError:  # property tests will skip without hypothesis
+    pass
+
 from repro.common.config import CacheConfig, small_config
 from repro.common.stats import StatsRegistry
 from repro.workloads.registry import BENCHMARKS, build_workload

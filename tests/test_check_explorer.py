@@ -1,0 +1,111 @@
+"""Interleaving exploration and shrinking (repro.check.explorer)."""
+
+import pytest
+
+from repro.check import (InvalidSchedule, MUTATIONS, by_name,
+                         execute_schedule, explore, random_walks)
+from repro.check.scenarios import Agent, Scenario
+
+
+def test_execute_schedule_replays_choices():
+    scenario = by_name("dx-forward")
+    outcome = execute_schedule(scenario, (0, 0, 1, 1))
+    assert outcome.completed
+    assert outcome.violations == ()
+    assert outcome.choices == (0, 0, 1, 1)
+    assert dict(outcome.final_values)[0] == "axc0.w1"
+
+
+def test_execute_schedule_rejects_exhausted_agent():
+    scenario = by_name("dx-forward")   # axc0 has two events
+    with pytest.raises(InvalidSchedule):
+        execute_schedule(scenario, (0, 0, 0))
+
+
+def test_execute_schedule_is_deterministic():
+    scenario = by_name("acc-host-mix")
+    a = execute_schedule(scenario, (0, 1, 2, 0, 2, 0))
+    b = execute_schedule(scenario, (0, 1, 2, 0, 2, 0))
+    assert a.state_hash == b.state_hash
+    assert a.observations == b.observations
+    assert a.final_values == b.final_values
+
+
+def test_explore_covers_every_interleaving_when_unpruned():
+    # Two agents with 1 and 2 events: C(3,1) = 3 interleavings.
+    scenario = Scenario(
+        name="unit-tiny", kind="acc",
+        agents=(Agent("axc", (("store", 0),)),
+                Agent("axc", (("load", 0), ("load", 0)))))
+    result = explore(scenario, depth=scenario.total_events, prune=False)
+    assert result.ok
+    assert result.interleavings == 3
+
+
+def test_explore_pruning_preserves_outcomes():
+    scenario = by_name("dx-forward")
+    pruned = explore(scenario, depth=scenario.total_events, prune=True)
+    full = explore(scenario, depth=scenario.total_events, prune=False)
+    assert pruned.ok and full.ok
+    assert pruned.outcomes == full.outcomes
+    assert pruned.interleavings <= full.interleavings
+
+
+def test_explore_respects_depth_bound():
+    scenario = by_name("acc-two-writers")   # 6 events total
+    result = explore(scenario, depth=2)
+    assert result.ok
+    assert result.interleavings == 0   # nothing completes in 2 steps
+    assert result.truncated > 0
+
+
+def test_explore_catches_mutation_and_shrinks():
+    scenario = by_name("acc-two-writers")
+    mutation = MUTATIONS["drop-write-epoch-lock"]
+    result = explore(scenario, depth=scenario.total_events,
+                     mutation=mutation)
+    assert result.failure is not None
+    failure = result.failure
+    assert failure.violations[0].invariant in mutation.expected
+    # The shrunk (scenario, schedule) pair must itself reproduce the
+    # violation — shrinking only accepts genuine replays.
+    replay = execute_schedule(failure.scenario, failure.choices,
+                              mutation=mutation)
+    assert replay.failed
+    assert replay.violations[0].invariant == \
+        failure.violations[0].invariant
+    # And it must be no larger than the original program.
+    assert failure.scenario.total_events <= scenario.total_events
+
+
+def test_random_walks_are_seed_deterministic():
+    scenario = by_name("acc-host-mix")
+    mutation = MUTATIONS["skew-ltime"]
+    runs_a, failure_a = random_walks(scenario, 20, seed=7,
+                                     mutation=mutation, shrink=False)
+    runs_b, failure_b = random_walks(scenario, 20, seed=7,
+                                     mutation=mutation, shrink=False)
+    assert (runs_a, failure_a is None) == (runs_b, failure_b is None)
+    if failure_a is not None:
+        assert failure_a.choices == failure_b.choices
+        assert failure_a.schedule_index == failure_b.schedule_index
+
+
+def test_random_walks_clean_on_correct_protocol():
+    scenario = by_name("shared-race")
+    runs, failure = random_walks(scenario, 15, seed=3)
+    assert runs == 15
+    assert failure is None
+
+
+def test_failure_to_dict_is_replayable():
+    scenario = by_name("acc-expiry-reload")
+    mutation = MUTATIONS["skew-ltime"]
+    result = explore(scenario, depth=scenario.total_events,
+                     mutation=mutation)
+    assert result.failure is not None
+    payload = result.failure.to_dict()
+    assert payload["violations"][0]["invariant"] == "stale-epoch-use"
+    # The schedule labels line up with the choices.
+    labels = result.failure.scenario.agent_labels()
+    assert payload["schedule"] == [labels[c] for c in payload["choices"]]

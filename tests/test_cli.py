@@ -232,3 +232,39 @@ def test_cache_stats_reports_orphaned_temp_files(fresh_engine, capsys):
     capsys.readouterr()
     assert main(["cache", "stats"]) == 0
     assert "temp files     : 0" in capsys.readouterr().out
+
+
+def test_check_single_scenario(capsys):
+    assert main(["check", "--scenario", "acc-two-writers"]) == 0
+    out = capsys.readouterr().out
+    assert "result: OK" in out
+
+
+def test_check_json_is_parseable(capsys):
+    import json
+    assert main(["check", "--scenario", "dx-forward", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"]
+    assert report["explorations"][0]["scenario"] == "dx-forward"
+
+
+def test_check_self_test(capsys):
+    import json
+    assert main(["check", "--self-test", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"]
+    assert all(entry["caught"] for entry in report["mutations"])
+
+
+def test_check_mutated_run_fails_with_repro(capsys):
+    code = main(["check", "--scenario", "acc-two-writers",
+                 "--mutate", "drop-write-epoch-lock"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FAIL" in out
+    assert "repro: fusion-sim check" in out
+
+
+def test_check_rejects_unknown_kind():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["check", "--kind", "gpu"])

@@ -95,3 +95,85 @@ def test_drop():
     directory.entry(0)
     directory.drop(0)
     assert directory.lookup(0) is None
+
+
+# -- edge cases through the host memory system --------------------------
+
+def _tiny_mem():
+    """Host memory system on the checker's tiny config: a 1 KiB L2 so a
+    handful of host loads force real L2 evictions."""
+    from repro.check.world import tiny_config
+    from repro.coherence.mesi import HostMemorySystem
+    stats = StatsRegistry()
+    return HostMemorySystem(tiny_config(), stats), stats
+
+
+def test_l2_eviction_recalls_live_tile_sharer():
+    from tests.conftest import RecordingTileAgent
+    mem, _ = _tiny_mem()
+    agent = RecordingTileAgent(dirty=True)
+    mem.tile_agent = agent
+    block = 0x0
+    mem.fetch_for_tile(block)
+    assert mem.directory.entry(block).cached_by(TILE)
+    # Churn the whole tiny L2 until the tile's block is evicted.
+    addr = 0x1000
+    while mem.l2.contains(block):
+        mem.host_load(addr)
+        addr += 64
+    # Inclusion recall: the tile was asked to give the line up, its
+    # dirty data travelled back, and the directory entry is gone.
+    assert (block, 0, True) in [(b, n, s) for b, n, s in agent.requests]
+    assert mem.directory.lookup(block) is None
+
+
+def test_writeback_racing_a_forward_is_tolerated():
+    from tests.conftest import RecordingTileAgent
+    mem, _ = _tiny_mem()
+    agent = RecordingTileAgent(dirty=True)
+    mem.tile_agent = agent
+    block = 0x0
+    mem.fetch_for_tile(block)
+    # A host store forwards into the tile: the directory drops the tile
+    # and the host becomes owner.
+    mem.host_store(block)
+    assert agent.requests, "host store must forward into the tile"
+    assert mem.directory.entry(block).owner == HOST
+    # The tile's own writeback for the same line arrives late (it raced
+    # the forward).  It must be absorbed, not tripped over - and must
+    # not disturb the host's ownership.
+    mem.tile_writeback(block, dirty=True)
+    assert mem.directory.entry(block).owner == HOST
+
+
+def test_regrant_after_self_downgrade():
+    mem, _ = _tiny_mem()
+    block = 0x40
+    mem.fetch_for_tile(block)
+    assert mem.directory.entry(block).owner == TILE
+    # Self-downgrade: the tile gives the line up voluntarily.
+    mem.tile_writeback(block, dirty=True)
+    assert mem.directory.entry(block).is_idle
+    # The host picks the block up in between.
+    mem.host_load(block)
+    assert mem.directory.entry(block).cached_by(HOST)
+    # Re-granting the tile must displace the host copy cleanly.
+    mem.fetch_for_tile(block)
+    entry = mem.directory.entry(block)
+    assert entry.owner == TILE
+    assert not entry.cached_by(HOST)
+
+
+def test_conflict_errors_carry_structured_context():
+    directory = make_directory()
+    entry = directory.entry(0x80)
+    entry.set_owner(TILE)
+    with pytest.raises(ProtocolError) as excinfo:
+        entry.add_sharer(HOST)
+    error = excinfo.value
+    assert error.agent == HOST
+    assert error.block == 0x80
+    assert error.invariant == "single-owner"
+    assert "block=0x80" in str(error)
+    assert error.context == {"agent": HOST, "block": 0x80,
+                             "invariant": "single-owner"}

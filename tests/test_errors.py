@@ -1,0 +1,50 @@
+"""Structured error context (repro.common.errors)."""
+
+import pickle
+
+import pytest
+
+from repro.common.errors import CoherenceError, ProtocolError, ReproError
+
+
+def test_coherence_error_is_protocol_error():
+    assert CoherenceError is ProtocolError
+    assert issubclass(ProtocolError, ReproError)
+
+
+def test_bare_message_still_works():
+    error = ProtocolError("something broke")
+    assert str(error) == "something broke"
+    assert error.context == {}
+
+
+def test_context_renders_in_str():
+    error = ProtocolError("two live write epochs", agent="axc1",
+                          block=0x40080, epoch=210, invariant="swmr")
+    rendered = str(error)
+    assert "two live write epochs" in rendered
+    assert "agent=axc1" in rendered
+    assert "block=0x40080" in rendered
+    assert "epoch=210" in rendered
+    assert "invariant=swmr" in rendered
+
+
+def test_context_dict_skips_unset_fields():
+    error = ProtocolError("partial", agent="l1x")
+    assert error.context == {"agent": "l1x"}
+
+
+def test_context_survives_pickling():
+    """Exceptions cross the execution engine's worker-pool boundary;
+    the keyword context must survive the round trip."""
+    error = ProtocolError("msg", agent="tile", block=0x40,
+                          invariant="exclusive-owner")
+    clone = pickle.loads(pickle.dumps(error))
+    assert type(clone) is ProtocolError
+    assert clone.message == "msg"
+    assert clone.context == error.context
+
+
+def test_catchable_as_repro_error():
+    with pytest.raises(ReproError):
+        raise ProtocolError("x", agent="a")

@@ -1,5 +1,7 @@
 """Coherence message vocabulary (repro.coherence.messages)."""
 
+import zlib
+
 from repro.common.stats import StatsRegistry
 from repro.coherence.messages import DATA_MESSAGES, MSG_SIZE, Msg, is_data, \
     send, size_of
@@ -48,3 +50,29 @@ def test_send_records_named_counter():
     link = Link("l", 1.0, stats)
     send(link, Msg.FWD_GETS, stats, "mesi.sent")
     assert stats.get("mesi.sent.fwd_gets") == 1
+
+
+# -- stable identity (the model checker folds Msg into state hashes) -------
+
+def test_repr_names_the_message():
+    assert repr(Msg.GETS) == "Msg.GETS"
+    assert repr(Msg.FWD_LINE) == "Msg.FWD_LINE"
+
+
+def test_hash_is_name_derived_and_process_stable():
+    # crc32 of the name: independent of auto() ordering and of
+    # PYTHONHASHSEED, so state hashes replay across processes.
+    for msg in Msg:
+        assert hash(msg) == zlib.crc32(msg.name.encode("ascii"))
+
+
+def test_hashes_are_distinct_and_dict_safe():
+    assert len({hash(msg) for msg in Msg}) == len(list(Msg))
+    table = {msg: msg.name for msg in Msg}
+    assert table[Msg.PUTX] == "PUTX"
+
+
+def test_equality_is_identity():
+    assert Msg.GETS == Msg.GETS
+    assert Msg.GETS != Msg.GETX
+    assert Msg.GETS in {Msg.GETS, Msg.DATA_LINE}

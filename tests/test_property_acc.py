@@ -10,7 +10,7 @@ accesses must never violate the protocol's structural invariants:
 * hit/miss accounting is exact.
 """
 
-from hypothesis import given, settings
+from hypothesis import given, note, settings
 from hypothesis import strategies as st
 
 from repro.common.config import small_config
@@ -70,6 +70,7 @@ def check_invariants(l1x, l0xs, now, granted_block=None, granting=None):
 @given(st.lists(op_strategy, max_size=120))
 @settings(max_examples=60, deadline=None)
 def test_acc_invariants_hold_under_random_traffic(ops):
+    note("op trace: {!r}".format(ops))
     mem, page_table, l1x, l0xs, stats = build_tile()
     now = 0
     for agent, kind, vaddr, step in ops:
@@ -92,6 +93,7 @@ def test_acc_invariants_hold_under_random_traffic(ops):
 @given(st.lists(op_strategy, max_size=120))
 @settings(max_examples=40, deadline=None)
 def test_acc_accounting_is_exact(ops):
+    note("op trace: {!r}".format(ops))
     _, _, l1x, l0xs, stats = build_tile()
     now = 0
     issued = [0, 0]
@@ -112,6 +114,7 @@ def test_acc_accounting_is_exact(ops):
 @given(st.lists(op_strategy, max_size=100))
 @settings(max_examples=40, deadline=None)
 def test_flush_leaves_no_dirty_l0x_lines(ops):
+    note("op trace: {!r}".format(ops))
     _, _, l1x, l0xs, _ = build_tile()
     now = 0
     for agent, kind, vaddr, step in ops:

@@ -10,7 +10,7 @@ long same-line runs (the fast path's target) interleaved with compute,
 kind changes and cross-accelerator sharing (the guards' targets).
 """
 
-from hypothesis import given, settings
+from hypothesis import given, note, settings
 from hypothesis import strategies as st
 
 import repro.accel.core as core_mod
@@ -96,6 +96,7 @@ def run_both_paths(system_cls, workload):
 @given(workloads)
 @settings(max_examples=25, deadline=None)
 def test_coalesced_results_bit_identical_on_all_systems(spec):
+    note("workload spec: {!r}".format(spec))
     workload = build(spec)
     if not workload.invocations:
         return
@@ -110,6 +111,7 @@ def test_coalesced_results_bit_identical_on_all_systems(spec):
 def test_single_function_store_heavy_runs_match(segs):
     """Stress the store-side guards (W state, write-through, dirty
     accounting) with a single hot function."""
+    note("segments: {!r}".format(segs))
     ops = _expand(segs)
     if not ops:
         return
