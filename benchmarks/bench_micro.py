@@ -121,6 +121,30 @@ def test_micro_run_coalesced_matches_per_op():
     assert coalesced_end == per_op_end
 
 
+def test_micro_acc_phase_steady(benchmark):
+    """Ops/sec with ``phase_quote`` serving whole lease-stable windows
+    in one protocol step (the steady-state phase engine — top rung of
+    the fallback ladder above the coalesced-run path)."""
+    trace, core, l0x, access_run = _warm_run_setup()
+
+    benchmark(lambda: core.run(trace, 0, l0x.access, mlp=4,
+                               access_run=access_run,
+                               phase_quote=l0x.phase_quote))
+
+
+def test_micro_phase_matches_coalesced():
+    """Semantics gate: the phase path and the coalesced-run path end at
+    the same cycle (bit-identity across all counters is the property
+    suite's job — ``tests/test_property_phases.py``)."""
+    trace, core, l0x, access_run = _warm_run_setup()
+    coalesced_end = core.run(trace, 0, l0x.access, mlp=4,
+                             access_run=access_run)
+    phased_end = core.run(trace, 0, l0x.access, mlp=4,
+                          access_run=access_run,
+                          phase_quote=l0x.phase_quote)
+    assert phased_end == coalesced_end
+
+
 def test_micro_host_load_hit(benchmark):
     config = small_config()
     mem = HostMemorySystem(config, StatsRegistry())

@@ -37,17 +37,41 @@ before.  The module-level ``COALESCE_RUNS`` switch (read at call time)
 force-disables the fast path — the coalesced-vs-per-op equivalence
 property test flips it to prove bit-identity.
 
+Steady-state phases: one level above runs, the phase compiler
+(:mod:`repro.workloads.phases`) partitions the stream into windows that
+are steady-state *candidates*.  When the caller supplies a
+``phase_quote`` hook, each candidate window is offered to the protocol
+controller as a whole: a non-``None`` quote means every op of the phase
+was served and accounted in one protocol step (bulk sequence flusher,
+exact LRU advance), and the core applies a
+:class:`~repro.workloads.phases.PhaseTimeline` cached per relative
+entry state (outstanding fills expressed as clock offsets) in O(1) —
+a cache miss replays the issue timeline once, with no protocol calls,
+and serves every later entry with the same signature.  A declined quote
+drops the window to the per-run coalesced path, and below that the
+per-op path: the fallback ladder of ``docs/simulator.md`` §10.  ``STEADY_PHASES`` (initialised
+from the environment variable of the same name, read at call time like
+``COALESCE_RUNS``) toggles the path for equivalence testing.
+
 Energy: Aladdin-style activity counts are charged per compute chunk.
 """
 
 import heapq
+import os
 
 from ..energy.accel_energy import INVOCATION_OVERHEAD_PJ, compute_energy_pj
 from ..workloads.lowering import lowered_trace
+from ..workloads.phases import phase_plan
 
 #: Global enable for the run-coalescing fast path; tests flip this to
 #: run the same workload through both paths.
 COALESCE_RUNS = True
+
+#: Global enable for the steady-state phase fast path; the environment
+#: variable ``STEADY_PHASES`` (0/false/off to disable) sets the initial
+#: value, and the equivalence property tests flip the module attribute.
+STEADY_PHASES = os.environ.get("STEADY_PHASES", "1").strip().lower() \
+    not in ("0", "false", "off", "no")
 
 
 class AxcCore:
@@ -63,7 +87,8 @@ class AxcCore:
         self._add_mshr_merge = self._core_stats.counter("mshr_merges")
 
     def run(self, trace, start_time, access_fn, mlp, issue_interval=1,
-            charge_invocation=True, access_run=None):
+            charge_invocation=True, access_run=None, phase_quote=None,
+            leased_phases=True):
         """Execute one invocation to completion; returns the end time.
 
         Args:
@@ -94,19 +119,114 @@ class AxcCore:
                 an upper-bound anchor for the controller's lease-span
                 guard (no per-op time inside the run can exceed
                 ``horizon + count * (latency + issue_interval)``).
+            phase_quote: optional ``(phase, now, horizon,
+                issue_interval) -> (load_lat, store_lat) | None``
+                steady-state phase entry point, tried on every compiled
+                phase of the trace's :class:`~repro.workloads.phases.
+                PhasePlan`.  A non-``None`` quote means the controller
+                served and accounted *every* op of the phase (bulk
+                ledger flush, LRU advance, dirty marks) at the two
+                constant latencies returned; the core then applies the
+                phase's timeline, cached per relative entry state, in
+                O(1) (a cache miss replays once).  ``None`` declines:
+                the window falls back to the per-run coalesced path.
+            leased_phases: which compiled plan variant to interpret —
+                ``True`` for lease-capped windows (ACC's cover guard
+                wants short phases), ``False`` for the long structural
+                windows an expiry-free controller can absorb whole.
         """
         mlp = max(1, int(mlp))
         lowered = lowered_trace(trace, self.issue_width)
-        now = start_time
         outstanding = []            # heap of completion times
         fill_time_of = {}           # block -> outstanding completion
+        run_fn = access_run if COALESCE_RUNS else None
+        plan = None
+        if phase_quote is not None and STEADY_PHASES:
+            plan = phase_plan(trace, self.issue_width, leased_phases)
+            if not plan.num_phases:
+                plan = None
+        if plan is None:
+            now = self._interpret(
+                lowered.steps, start_time, outstanding, fill_time_of,
+                access_fn, run_fn, mlp, issue_interval)
+        else:
+            now = start_time
+            heappop = heapq.heappop
+            for phase, steps in plan.entries:
+                if phase is not None:
+                    horizon = now
+                    if outstanding:
+                        peak = max(outstanding)
+                        if peak > horizon:
+                            horizon = peak
+                    quoted = phase_quote(phase, now, horizon,
+                                         issue_interval)
+                    if quoted is not None:
+                        load_lat, store_lat = quoted
+                        # Retire fills that have arrived — exactly what
+                        # the per-op path's next access would do first —
+                        # then express the surviving entry state
+                        # relative to the clock.  Every simulator time
+                        # is dyadic, so relative replay + rebase is
+                        # bit-identical to absolute replay, and the
+                        # timeline cache hits whenever this phase was
+                        # ever entered with the same relative state.
+                        while outstanding and outstanding[0] <= now:
+                            heappop(outstanding)
+                        rel_heap = tuple(sorted(
+                            completion - now
+                            for completion in outstanding))
+                        rel_fills = ()
+                        if fill_time_of:
+                            # Only pending fills of the phase's own
+                            # lines can merge; older entries (<= now)
+                            # can never beat a future completion.
+                            pending = fill_time_of.get
+                            items = None
+                            for info in phase.block_info:
+                                fill = pending(info[0])
+                                if fill is not None and fill > now:
+                                    if items is None:
+                                        items = []
+                                    items.append((info[0], fill - now,
+                                                  info[5], info[6]))
+                            if items is not None:
+                                rel_fills = tuple(items)
+                        timeline = phase.timeline(
+                            load_lat, store_lat, mlp, issue_interval,
+                            rel_heap, rel_fills)
+                        if timeline.mlp_stall:
+                            self._add_mlp_stall(timeline.mlp_stall)
+                        if timeline.mshr_merges:
+                            self._add_mshr_merge(timeline.mshr_merges)
+                        for block, rel in timeline.fill_residue:
+                            fill_time_of[block] = now + rel
+                        # Entries at or below the exit clock would be
+                        # drained before they could ever matter, so the
+                        # pruned exit heap (sorted ascending — a valid
+                        # heap) replaces the live one wholesale.
+                        outstanding[:] = [
+                            now + rel for rel in timeline.exit_heap]
+                        now += timeline.cycles
+                        continue
+                now = self._interpret(
+                    steps, now, outstanding, fill_time_of, access_fn,
+                    run_fn, mlp, issue_interval)
+        if outstanding:
+            now = max(now, max(outstanding))
+        self._record(lowered, now - start_time, charge_invocation)
+        return now
+
+    def _interpret(self, steps, now, outstanding, fill_time_of,
+                   access_fn, run_fn, mlp, issue_interval):
+        """Interpret a window of lowered steps (per-op + coalesced-run
+        paths), mutating the timeline state in place; returns ``now``."""
         heappush = heapq.heappush
         heappop = heapq.heappop
         pending_fill = fill_time_of.get
         add_mlp_stall = self._add_mlp_stall
         add_mshr_merge = self._add_mshr_merge
-        run_fn = access_run if COALESCE_RUNS else None
-        for op, arg, count in lowered.steps:
+        for op, arg, count in steps:
             if op is None:          # fused compute chunk
                 now += arg
                 continue
@@ -199,9 +319,6 @@ class AxcCore:
                 heappush(outstanding, completion)
                 now += issue_interval
                 remaining -= 1
-        if outstanding:
-            now = max(now, max(outstanding))
-        self._record(lowered, now - start_time, charge_invocation)
         return now
 
     def iter_run(self, trace, start_time, access_fn, mlp,

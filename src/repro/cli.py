@@ -173,6 +173,7 @@ def _cmd_config(_args):
 #: order; the first hit wins.
 _PROFILE_PHASES = (
     ("lowering", ("workloads/lowering",)),
+    ("phases", ("workloads/phases",)),
     ("protocol", ("coherence/", "mem/", "interconnect/", "host/",
                   "energy/")),
     ("engine", ("accel/", "systems/", "sim/", "common/")),
@@ -195,8 +196,8 @@ def _profile_phase_of(filename):
 
 def _print_phase_breakdown(stats):
     """Aggregate a :class:`pstats.Stats` by pipeline phase (tottime)."""
-    totals = {"lowering": 0.0, "protocol": 0.0, "engine": 0.0,
-              "other": 0.0}
+    totals = {"lowering": 0.0, "phases": 0.0, "protocol": 0.0,
+              "engine": 0.0, "other": 0.0}
     calls = dict.fromkeys(totals, 0)
     for (filename, _line, _name), entry in stats.stats.items():
         _cc, nc, tt, _ct, _callers = entry
@@ -205,7 +206,7 @@ def _print_phase_breakdown(stats):
         calls[phase] += nc
     overall = sum(totals.values())
     print("phase breakdown (tottime):")
-    for phase in ("lowering", "protocol", "engine", "other"):
+    for phase in ("lowering", "phases", "protocol", "engine", "other"):
         share = totals[phase] / overall if overall else 0.0
         print("  {:<9} {:>8.3f}s  {:>5.1f}%  {:>12,} calls".format(
             phase, totals[phase], 100.0 * share, calls[phase]))
@@ -271,6 +272,9 @@ def _cmd_cache(args):
         entries, total_bytes / 1024.0))
     print("trace entries  : {} ({:.1f} kB prepared workloads)".format(
         trace_entries, trace_bytes / 1024.0))
+    phase_entries, phase_windows = cache.phase_stats()
+    print("phase entries  : {} compiled plan(s), {} phase window(s)".format(
+        phase_entries, phase_windows))
     print("temp files     : {} ({:.1f} kB orphaned; 'cache clear' "
           "sweeps them)".format(temp_count, temp_bytes / 1024.0))
     session = engine.load_session_stats()

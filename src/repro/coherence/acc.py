@@ -30,6 +30,7 @@ lease epoch, not which L0X holds it.
 
 from ..common.config import WritePolicy
 from ..common.errors import ProtocolError
+from ..common.stats import compile_phase_ledger
 from ..common.types import AccessType, block_address
 from ..common.units import LINE_SIZE
 from ..energy import cacti
@@ -378,6 +379,13 @@ class AccL0XController:
             + [(axc_link.stats.qualified("write_flits"),
                 self.config.line_size // 8),
                (qualify("writebacks"), 1)])
+        #: Per-phase sequence flushers for the steady-state fast path,
+        #: keyed by the (immutable, trace-memoised) Phase object, the
+        #: lazily-built pair lists they bind, and the compiled ledger
+        #: programs memoised per (num_loads, num_stores).
+        self._phase_ledgers = {}
+        self._ledger_pairs = None
+        self._programs = {}
         #: Default lease for :meth:`access` calls that omit the ``lease``
         #: argument; bound by the tile before each invocation.
         self.invocation_lease = None
@@ -532,6 +540,109 @@ class AccL0XController:
             line.dirty = True
             self._flush_store_hit(count)
         return latency
+
+    def phase_quote(self, phase, now, horizon, interval):
+        """Serve a whole steady-state phase in one protocol step.
+
+        The phase-engine analogue of :meth:`access_run`: the compiler
+        already proved the window's structure (no first touches, no
+        upgrades — see :mod:`repro.workloads.phases`), and this guard
+        proves the run-time conditions that make the per-op expansion
+        ``phase.mem_ops`` identical hits:
+
+        * fixed lease policy (an adaptive policy observes every access);
+        * every line resident, its lease covering every instant at
+          which the phase can still touch it — ``horizon + last_pos *
+          (latency + interval) + compute_cycles`` bounds all per-op
+          clocks up to the line's last access (same induction as the
+          run guard, with the phase's fused compute included), so
+          lines retired early in the window need proportionally less
+          lease cover;
+        * stored lines already in write state, and under write-through
+          an L1X-resident copy of each.
+
+        On success every op is accounted here — the per-phase sequence
+        flusher replays the program-ordered counter/energy deltas
+        bit-identically, the LRU clock advances exactly
+        (:meth:`~repro.mem.cache.SetAssocCache.touch_phase`), dirty
+        marks are applied — and the returned ``(load_lat, store_lat)``
+        lets the core replay or bulk-apply the issue timeline.
+        Returns ``None`` to decline (the window drops to the
+        coalesced-run path).
+        """
+        if not self._fixed_lease:
+            return None
+        load_lat = self._hit_latency
+        store_lat = load_lat
+        write_through = self._write_through
+        if write_through and phase.num_stores:
+            store_lat += TILE_LINK_LATENCY + self.l1x.config.hit_latency
+        max_lat = store_lat if phase.num_stores else load_lat
+        per_op = max_lat + interval
+        base = horizon + phase.compute_cycles
+        lines = self.cache._lines
+        l1x_lines = self.l1x.cache._lines if write_through else None
+        touched = []
+        dirty_lines = []
+        wt_lines = []
+        for block, loads, stores, first_is_store, last_pos, \
+                first_mem, first_comp in phase.block_info:
+            line = lines.get(block)
+            if line is None or line.lease is None \
+                    or line.lease <= base + last_pos * per_op:
+                return None
+            if stores:
+                if line.state != "W":
+                    return None
+                if write_through:
+                    wt_line = l1x_lines.get(block)
+                    if wt_line is None:
+                        return None
+                    wt_lines.append(wt_line)
+                else:
+                    dirty_lines.append(line)
+            touched.append((line, last_pos))
+        self.cache.touch_phase(touched, phase.mem_ops)
+        for line in dirty_lines:
+            line.dirty = True
+        for wt_line in wt_lines:
+            wt_line.dirty = True
+        self._phase_ledger(phase)()
+        return load_lat, store_lat
+
+    def _phase_ledger(self, phase):
+        """The phase's prebuilt counter ledger (cached per phase).
+
+        Built from the *same* pair lists the per-op flushers bind — a
+        write-through store event additionally carries the L1X-side
+        ``write_through`` increments that :meth:`AccL1XController.
+        write_through_run` would flush — so the bulk path charges
+        exactly what the per-op path charges, by construction.
+        """
+        ledger = self._phase_ledgers.get(phase)
+        if ledger is None:
+            pairs = self._ledger_pairs
+            if pairs is None:
+                load_pairs = self._flush_load_hit.pairs
+                if self._write_through:
+                    store_pairs = self._flush_store_hit_wt.pairs \
+                        + self.l1x._flush_write_through.pairs
+                else:
+                    store_pairs = self._flush_store_hit.pairs
+                pairs = self._ledger_pairs = (load_pairs, store_pairs)
+            # Given the controller's fixed pair lists, the compiled
+            # program depends only on the phase's op counts — memoise
+            # per (loads, stores) so ten thousand phases share a few
+            # hundred programs.
+            key = (phase.num_loads, phase.num_stores)
+            program = self._programs.get(key)
+            if program is None:
+                program = self._programs[key] = compile_phase_ledger(
+                    pairs[0], pairs[1], *key)
+            ledger = self.stats.registry.phase_flusher(phase.event_seq,
+                                                       program)
+            self._phase_ledgers[phase] = ledger
+        return ledger
 
     def _accept_forward(self, vblock, now, lease):
         """Install a pending forwarded line; returns ``(latency, line)``.

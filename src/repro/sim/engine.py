@@ -507,6 +507,38 @@ class DiskCache:
         """Return ``(entries, total_bytes)`` for prepared-trace pickles."""
         return self._tally(self._trace_dir())
 
+    def phase_stats(self):
+        """Return ``(plan_entries, phases)`` across prepared workloads.
+
+        Tallies the compiled steady-state phase plans riding in the
+        prepared-trace pickles (in-memory entries included, each
+        workload once): ``plan_entries`` counts the memoised plan
+        variants across invocation traces and ``phases`` the distinct
+        compiled phase windows inside them — the artifacts
+        ``invalidate_lowered`` evicts alongside the lowered streams.
+        """
+        from ..workloads.phases import plan_summary
+
+        workloads = {}
+        for index_key, workload in self._index.items():
+            if index_key[1] == "trace":
+                workloads[index_key[2]] = workload
+        trace_dir = self._trace_dir()
+        if trace_dir.is_dir():
+            for path in sorted(trace_dir.rglob("*.pkl")):
+                if path.stem in workloads:
+                    continue
+                workload = self._read_pickle(path)
+                if workload is not None:
+                    workloads[path.stem] = workload
+        plan_entries, phases = 0, 0
+        for workload in workloads.values():
+            for trace in workload.invocations:
+                entries, windows = plan_summary(trace)
+                plan_entries += entries
+                phases += windows
+        return plan_entries, phases
+
     def temp_stats(self):
         """Return ``(count, total_bytes)`` for orphaned ``.tmp-*`` files.
 

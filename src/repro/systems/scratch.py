@@ -54,7 +54,9 @@ class ScratchSystem(BaseSystem):
             now += self.dma.transfer_in(window.in_blocks, scratchpad, now)
             now = core.run(window.trace, now, model.access, mlp,
                            charge_invocation=(window_index == 0),
-                           access_run=model.access_run)
+                           access_run=model.access_run,
+                           phase_quote=model.phase_quote,
+                           leased_phases=False)
             dirty = scratchpad.drain()
             now += self.dma.transfer_out(dirty, now)
         return now

@@ -32,4 +32,6 @@ class SharedSystem(BaseSystem):
         core = self.cores[self._axc_of(trace)]
         return core.run(trace, now, self.l1x.access, self._mlp(trace),
                         issue_interval=ISSUE_INTERVAL,
-                        access_run=self.l1x.access_run)
+                        access_run=self.l1x.access_run,
+                        phase_quote=self.l1x.phase_quote,
+                        leased_phases=False)

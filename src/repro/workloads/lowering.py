@@ -50,8 +50,9 @@ import math
 from ..common.types import ComputeOp, MemOp
 
 #: Bump when the lowered format changes incompatibly; part of the
-#: engine's prepared-workload cache key.
-LOWERING_VERSION = 2
+#: engine's prepared-workload cache key.  Version 3 adds compiled
+#: steady-state phase plans riding along with the lowered stream.
+LOWERING_VERSION = 3
 
 #: Attribute used to memoise lowered forms on a trace object.
 _CACHE_ATTR = "_lowered_by_width"
@@ -205,11 +206,13 @@ def lowered_trace(trace, issue_width):
 def invalidate_lowered(trace):
     """Drop a trace's memoised derived forms (after mutating its ops).
 
-    Clears the lowered streams and the block-set caches
-    (:meth:`~repro.common.types.FunctionTrace.touched_blocks` /
+    Clears the lowered streams, the compiled steady-state phase plans
+    (which are derived from the lowered streams) and the block-set
+    caches (:meth:`~repro.common.types.FunctionTrace.touched_blocks` /
     ``dirty_blocks``) — everything derived from ``trace.ops``.
     """
     trace.__dict__.pop(_CACHE_ATTR, None)
+    trace.__dict__.pop("_phase_plans", None)
     trace.__dict__.pop("_touched_blocks", None)
     trace.__dict__.pop("_dirty_blocks", None)
 
@@ -219,9 +222,15 @@ def lower_workload(workload, issue_width=4):
 
     Used by the execution engine before pickling a prepared workload
     into its disk cache, so pool workers load ready-to-run streams
-    instead of re-executing kernels and re-lowering.  Returns the
-    workload for chaining.
+    instead of re-executing kernels and re-lowering.  Compiled phase
+    plans (the steady-state fast path's unit of work) are built here
+    too, so they ride along in the same pickle.  Returns the workload
+    for chaining.
     """
+    from .phases import phase_plan
+
     for trace in workload.invocations:
         lowered_trace(trace, issue_width)
+        phase_plan(trace, issue_width, leased=True)
+        phase_plan(trace, issue_width, leased=False)
     return workload

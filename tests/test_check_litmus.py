@@ -17,10 +17,10 @@ def test_litmus_outcomes_match_legal_set(test):
     assert result.seen == test.legal
 
 
-def test_suite_covers_the_four_paper_shapes():
+def test_suite_covers_the_paper_shapes():
     assert set(LITMUS_BY_NAME) == {
         "message-passing", "ping-pong", "producer-consumer",
-        "lease-expiry-race"}
+        "lease-expiry-race", "phase-boundary"}
 
 
 def test_outcome_formatting():

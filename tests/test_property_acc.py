@@ -45,7 +45,8 @@ def build_tile():
     return mem, page_table, l1x, l0xs, stats
 
 
-def check_invariants(l1x, l0xs, now, granted_block=None, granting=None):
+def check_invariants(l1x, l0xs, now, granted_block=None, granting=None,
+                     prev_lease=None):
     if granted_block is not None:
         # At grant time, the just-granted lease must be bounded by the
         # L1X's GTIME: that bound is what lets the L1X answer host
@@ -54,11 +55,14 @@ def check_invariants(l1x, l0xs, now, granted_block=None, granting=None):
         # accounted as latency while state changes are instantaneous,
         # so a forward-evict + refetch can reincarnate an L1X line
         # under an older live lease — in hardware the stall serialises
-        # those events.)
+        # those events.  The same reincarnation means the bound only
+        # applies when the access actually granted a lease: an L0X hit
+        # under a still-live older lease never contacts the L1X, so its
+        # lease may legitimately exceed a refetched line's GTIME.)
         line = granting.cache.lookup(granted_block, touch=False)
         l1x_line = l1x.cache.lookup(granted_block, touch=False)
         if line is not None and l1x_line is not None and \
-                line.lease is not None:
+                line.lease is not None and line.lease != prev_lease:
             assert l1x_line.gtime is not None
             assert l1x_line.gtime >= line.lease, "GTIME below a grant"
     for line in l1x.cache.lines():
@@ -82,10 +86,12 @@ def test_acc_invariants_hold_under_random_traffic(ops):
             else:
                 mem.host_load(paddr, now)
         else:
-            l0xs[agent].access(MemOp(kind, vaddr), now, LEASE)
-            check_invariants(l1x, l0xs, now,
-                             granted_block=MemOp(kind, vaddr).block,
-                             granting=l0xs[agent])
+            op = MemOp(kind, vaddr)
+            held = l0xs[agent].cache.lookup(op.block, touch=False)
+            prev_lease = held.lease if held is not None else None
+            l0xs[agent].access(op, now, LEASE)
+            check_invariants(l1x, l0xs, now, granted_block=op.block,
+                             granting=l0xs[agent], prev_lease=prev_lease)
             continue
         check_invariants(l1x, l0xs, now)
 
