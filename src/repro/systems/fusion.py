@@ -9,7 +9,9 @@ the L1X captures inter-function sharing without any DMA ping-pong
 (Lesson 1); coherence is maintained without invalidation traffic.
 """
 
+from ..accel.replay import AccTileReplayAdapter
 from ..accel.tile import AcceleratorTile
+from ..common.config import WritePolicy
 from .base import BaseSystem
 
 
@@ -26,6 +28,18 @@ class FusionSystem(BaseSystem):
     def _forward_plan_for(self, index):
         """FUSION proper never forwards; FUSION-Dx overrides this."""
         return None
+
+    def _replay_adapter(self):
+        tile = self.config.tile
+        if (tile.model_bank_conflicts
+                or tile.lease_policy != "fixed"
+                or tile.l0x.write_policy is not WritePolicy.WRITE_BACK):
+            # Bank busy-until times are absolute (not translation
+            # invariant), adaptive leases carry cross-invocation policy
+            # state, and write-through L0X reads L1X write epochs with
+            # no state diff to sign — decline the replay rung.
+            return None
+        return AccTileReplayAdapter(self)
 
     def _run_invocation(self, index, trace, now):
         lease = self.config.tile.lease_override or trace.lease_time

@@ -9,6 +9,7 @@ traffic Figure 6d quantifies (DMA kB many times the working set).
 """
 
 from ..accel.core import AxcCore
+from ..accel.replay import ScratchReplayAdapter
 from ..host.dma import OracleDmaController, ScratchpadAccessModel, \
     windows_for
 from ..mem.scratchpad import Scratchpad
@@ -41,6 +42,9 @@ class ScratchSystem(BaseSystem):
         if self.config.dma.double_buffered:
             blocks //= 2
         self._capacity = max(1, blocks)
+
+    def _replay_adapter(self):
+        return ScratchReplayAdapter(self)
 
     def _run_invocation(self, index, trace, now):
         axc = self._axc_of(trace)

@@ -9,6 +9,7 @@ energy (Lessons 2 and 4).
 """
 
 from ..accel.core import AxcCore
+from ..accel.replay import SharedL1XReplayAdapter
 from ..coherence.shared_l1 import ISSUE_INTERVAL, SharedL1XController
 from ..interconnect.link import Link
 from .base import BaseSystem
@@ -27,6 +28,12 @@ class SharedSystem(BaseSystem):
         self.host_mem.tile_agent = self.l1x
         self.cores = [AxcCore(i, self.stats)
                       for i in range(self.workload.num_axcs)]
+
+    def _replay_adapter(self):
+        if self.config.tile.model_bank_conflicts:
+            # Bank busy-until times are absolute; not replayable.
+            return None
+        return SharedL1XReplayAdapter(self)
 
     def _run_invocation(self, index, trace, now):
         core = self.cores[self._axc_of(trace)]

@@ -152,6 +152,7 @@ def test_cache_stats_command(fresh_engine, capsys):
     out = capsys.readouterr().out
     assert "entries        : 1" in out
     assert "trace entries  : 1" in out
+    assert "replay entries : " in out
     assert "last session" in out
     assert "hit ratio" in out
 
@@ -183,13 +184,14 @@ def test_profile_phase_breakdown(fresh_engine, capsys):
                  "--phase", "--top", "5"]) == 0
     out = capsys.readouterr().out
     assert "phase breakdown (tottime):" in out
-    for phase in ("lowering", "phases", "protocol", "engine", "other"):
+    for phase in ("lowering", "phases", "replay", "protocol", "engine",
+                  "other"):
         assert phase in out
     # The simulation hot path spends real time in the protocol and
     # engine layers; the shares are percentages that sum to ~100.
     shares = [float(line.split("%")[0].split()[-1])
               for line in out.splitlines() if "%" in line and "s " in line]
-    assert len(shares) == 5
+    assert len(shares) == 6
     assert abs(sum(shares) - 100.0) < 0.5
 
 
