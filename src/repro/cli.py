@@ -15,6 +15,11 @@ Examples::
     fusion-sim cache stats
     fusion-sim profile FUSION fft --size small --top 20
     fusion-sim doctor --quick
+    fusion-sim serve --port 7117
+    fusion-sim submit --port 7117 --systems FUSION,SHARED \\
+        --benchmarks fft --size tiny --axis lease=100,500 --wait
+    fusion-sim status <job-id> --port 7117
+    fusion-sim fetch <job-id> --port 7117 --format csv
 """
 
 import argparse
@@ -355,9 +360,14 @@ def _cmd_doctor(args):
     print("  retry backoff : {:g}s".format(engine_mod.resolve_backoff()))
     print("  fault spec    : {}".format(
         os.environ.get("REPRO_FAULT_SPEC", "").strip() or "(none armed)"))
+    log_path = os.environ.get("REPRO_ENGINE_LOG", "").strip()
     print("  engine log    : {}".format(
-        os.environ.get("REPRO_ENGINE_LOG", "").strip()
-        or "(in-memory ring buffer only)"))
+        log_path or "(in-memory ring buffer only)"))
+    if log_path and os.path.exists(log_path):
+        records, torn = engine_mod.read_journal(log_path)
+        print("                  {} event(s) on disk{}".format(
+            len(records),
+            ", {} torn line(s) skipped".format(torn) if torn else ""))
 
     cache = engine.cache
     entries, total_bytes = cache.disk_stats()
@@ -477,6 +487,115 @@ def _cmd_doctor(args):
             len(failures), ", ".join(failures)))
         return 1
     print("doctor: all checks passed")
+    return 0
+
+
+def _cmd_serve(args):
+    """Run the sweep-service daemon (see repro.sim.service)."""
+    from .sim import store as store_mod
+    from .sim.service import serve
+
+    path = args.store or store_mod.default_store_path()
+    return serve(path, host=args.host, port=args.port,
+                 batch_size=args.batch, lease_s=args.lease,
+                 poll_s=args.poll, announce=args.announce)
+
+
+def _service_client(args):
+    from .sim.service import ServiceClient
+
+    if args.announce:
+        return ServiceClient.from_announce(args.announce)
+    return ServiceClient(args.host, args.port)
+
+
+def _add_client_args(parser):
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="service host (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=7117,
+                        help="service port (default 7117)")
+    parser.add_argument("--announce", default=None, metavar="FILE",
+                        help="read host/port from a serve --announce "
+                             "file instead")
+
+
+def _print_status(counts):
+    print("total {total}  done {done}  failed {failed}  "
+          "claimed {claimed}  pending {pending}".format(**counts))
+
+
+def _fetch_table(payload):
+    """Render a fetch response as an ExperimentTable."""
+    from .sim.reporting import ExperimentTable
+
+    spec = payload["spec"]
+    axis_names = [axis["kind"] for axis in spec["axes"]]
+    metrics = spec["metrics"]
+    table = ExperimentTable(
+        "Job " + payload["job_id"],
+        "sweep service results (size={})".format(spec["size"]),
+        ["System", "Benchmark"] + axis_names + metrics + ["Status"])
+    for row in payload["rows"]:
+        point = row["point"]
+        labels = [label for _kind, label in point["axes"]]
+        if row["status"] == "done" and row["metrics"] is not None:
+            cells = [row["metrics"][name] for name in metrics]
+        else:
+            cells = ["FAILED" if row["status"] == "failed" else "..."
+                     for _ in metrics]
+        table.add_row(point["system"], point["benchmark"], *labels,
+                      *cells, row["status"])
+    failures = [row for row in payload["rows"]
+                if row["status"] == "failed"]
+    for row in failures:
+        table.add_note("failed {}:{}: {}".format(
+            row["point"]["system"], row["point"]["benchmark"],
+            row["error"]))
+    return table
+
+
+def _cmd_submit(args):
+    spec = {
+        "systems": args.systems.split(","),
+        "benchmarks": args.benchmarks.split(","),
+        "size": args.size,
+        "axes": [],
+        "metrics": (args.metrics.split(",") if args.metrics else None),
+    }
+    for axis in args.axis or ():
+        kind, _, values = axis.partition("=")
+        spec["axes"].append({"kind": kind.strip(),
+                             "values": [v.strip() for v in
+                                        values.split(",") if v.strip()]})
+    with _service_client(args) as client:
+        job_id = client.submit(spec, client="fusion-sim submit")
+        print("job {}".format(job_id))
+        if not args.wait:
+            _print_status(client.status(job_id))
+            return 0
+        counts = client.wait(job_id, timeout=args.wait_timeout)
+        _print_status(counts)
+        payload = client.fetch(job_id)
+    print(_render(_fetch_table(payload), args.format))
+    return 1 if counts["failed"] else 0
+
+
+def _cmd_status(args):
+    with _service_client(args) as client:
+        counts = client.status(args.job_id)
+    _print_status(counts)
+    return 0
+
+
+def _cmd_fetch(args):
+    with _service_client(args) as client:
+        payload = client.fetch(args.job_id)
+    if args.format == "raw":
+        import json as json_mod
+
+        print(json_mod.dumps(payload, indent=1, sort_keys=True))
+    else:
+        print(_render(_fetch_table(payload), args.format))
     return 0
 
 
@@ -654,6 +773,68 @@ def build_parser():
     chk_p.add_argument("--json", action="store_true",
                        help="emit the full report as JSON")
     chk_p.set_defaults(func=_cmd_check)
+
+    srv_p = sub.add_parser("serve",
+                           help="run the sweep-service daemon: durable "
+                                "job store + claim workers over the "
+                                "batch engine")
+    srv_p.add_argument("--host", default="127.0.0.1")
+    srv_p.add_argument("--port", type=int, default=7117,
+                       help="listen port (0 picks a free one; see "
+                            "--announce)")
+    srv_p.add_argument("--store", default=None, metavar="PATH",
+                       help="experiment store database (default "
+                            "<cache dir>/store.db)")
+    srv_p.add_argument("--batch", type=int, default=4, metavar="N",
+                       help="rows claimed per engine batch (default 4)")
+    srv_p.add_argument("--lease", type=float, default=60.0, metavar="S",
+                       help="claim lease seconds before other workers "
+                            "may steal a row (default 60)")
+    srv_p.add_argument("--poll", type=float, default=0.2, metavar="S",
+                       help="idle store poll interval (default 0.2)")
+    srv_p.add_argument("--announce", default=None, metavar="FILE",
+                       help="write the bound host/port/pid as JSON "
+                            "once listening")
+    srv_p.set_defaults(func=_cmd_serve)
+
+    sub_p = sub.add_parser("submit",
+                           help="submit a sweep spec to a running "
+                                "service")
+    sub_p.add_argument("--systems", required=True,
+                       help="comma-separated system list")
+    sub_p.add_argument("--benchmarks", required=True,
+                       help="comma-separated benchmark list")
+    sub_p.add_argument("--size", default="tiny",
+                       choices=("full", "small", "tiny"))
+    sub_p.add_argument("--axis", action="append", metavar="KIND=V1,V2",
+                       help="sweep axis, e.g. lease=100,500 or "
+                            "l0x_kb=4,8 (repeatable)")
+    sub_p.add_argument("--metrics", default=None,
+                       help="comma-separated metric list (default "
+                            "accel_cycles,energy_uj)")
+    sub_p.add_argument("--wait", action="store_true",
+                       help="stream progress until done, then fetch "
+                            "and render the results")
+    sub_p.add_argument("--wait-timeout", type=float, default=600.0,
+                       metavar="S")
+    sub_p.add_argument("--format", default="text",
+                       choices=("text", "csv", "json"))
+    _add_client_args(sub_p)
+    sub_p.set_defaults(func=_cmd_submit)
+
+    st_p = sub.add_parser("status",
+                          help="per-status row counts for one job")
+    st_p.add_argument("job_id")
+    _add_client_args(st_p)
+    st_p.set_defaults(func=_cmd_status)
+
+    fe_p = sub.add_parser("fetch",
+                          help="fetch one job's rows and results")
+    fe_p.add_argument("job_id")
+    fe_p.add_argument("--format", default="text",
+                      choices=("text", "csv", "json", "raw"))
+    _add_client_args(fe_p)
+    fe_p.set_defaults(func=_cmd_fetch)
 
     doc_p = sub.add_parser("doctor",
                            help="engine health report and live "

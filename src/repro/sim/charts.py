@@ -5,6 +5,8 @@ performance chart; these helpers draw faithful text versions so the CLI
 and examples can show the *picture*, not just the rows.
 """
 
+from .results import is_failure
+
 #: Glyph per energy component, in stacking order.
 STACK_GLYPHS = (
     ("local", "#"),
@@ -77,12 +79,23 @@ def figure6a_chart(results_by_benchmark, width=44):
     normalised to that benchmark's SCRATCH total.
 
     ``results_by_benchmark`` maps label -> {system: RunResult}.
+    Failure holes render as a ``FAILED`` row instead of a bar; when the
+    SCRATCH baseline itself failed, the other bars fall back to
+    unnormalised totals (scale 1 pJ) rather than dying.
     """
     lines = []
     for label, results in results_by_benchmark.items():
-        base = results["SCRATCH"].energy.total_pj or 1.0
+        scratch = results.get("SCRATCH")
+        if scratch is not None and not is_failure(scratch):
+            base = scratch.energy.total_pj or 1.0
+        else:
+            base = 1.0
         lines.append(label)
         for system, result in results.items():
+            if is_failure(result):
+                lines.append("  {:<10s} {:>5s} |{}".format(
+                    system, "-", "FAILED: " + (result.error or "?")))
+                continue
             normalised = {key: value / base for key, value
                           in result.energy.components.items()}
             lines.append("  {:<10s} {:>5.2f} |{}".format(

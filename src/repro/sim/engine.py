@@ -41,6 +41,7 @@ the process-wide engine, so single-point callers transparently share
 the same cache as batch submitters.
 """
 
+import contextlib
 import copy
 import hashlib
 import json
@@ -49,6 +50,12 @@ import pathlib
 import pickle
 import tempfile
 import time
+import warnings
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, wait
 from concurrent.futures import TimeoutError as FuturesTimeout
@@ -70,24 +77,54 @@ from .results import FailedResult
 CACHE_SCHEMA_VERSION = 1
 
 _TRUTHY = ("1", "true", "yes", "on")
+_FALSY = ("", "0", "false", "no", "off")
+
+
+def _warn_env(name, value, why, fallback):
+    """One malformed-environment warning; the run proceeds on defaults.
+
+    A bad ``REPRO_*`` value used to raise :class:`ConfigError` deep in
+    batch setup — a daemon serving many clients must not die because one
+    login shell exported ``REPRO_RUN_TIMEOUT=abc``, so environment
+    problems degrade loudly instead of fatally.  Explicit arguments
+    (``--jobs``/``configure()``) still raise: the caller typed those.
+    """
+    warnings.warn(
+        "ignoring {}={!r} ({}); falling back to {!r}".format(
+            name, value, why, fallback),
+        RuntimeWarning, stacklevel=3)
+    return fallback
 
 
 def _env_flag(name):
-    return os.environ.get(name, "").strip().lower() in _TRUTHY
+    value = os.environ.get(name, "").strip().lower()
+    if value in _TRUTHY:
+        return True
+    if value not in _FALSY:
+        return _warn_env(name, value,
+                         "expected one of {}".format(
+                             "/".join(_TRUTHY + _FALSY[1:])), False)
+    return False
 
 
 def resolve_jobs(jobs=None):
     """Worker count: explicit arg > ``REPRO_JOBS`` > ``os.cpu_count()``."""
+    default = os.cpu_count() or 1
     if jobs is None:
         env = os.environ.get("REPRO_JOBS", "").strip()
-        if env:
-            jobs = env
-    if jobs is None:
-        return os.cpu_count() or 1
+        if not env:
+            return default
+        try:
+            parsed = int(env)
+        except ValueError:
+            return _warn_env("REPRO_JOBS", env, "not an integer", default)
+        if parsed < 1:
+            return _warn_env("REPRO_JOBS", env, "must be >= 1", default)
+        return parsed
     try:
         return max(1, int(jobs))
-    except ValueError:
-        raise ConfigError("REPRO_JOBS/--jobs must be an integer, "
+    except (TypeError, ValueError):
+        raise ConfigError("--jobs must be an integer, "
                           "got {!r}".format(jobs))
 
 
@@ -98,15 +135,19 @@ def resolve_timeout(timeout=None):
     """
     if timeout is None:
         env = os.environ.get("REPRO_RUN_TIMEOUT", "").strip()
-        if env:
-            timeout = env
-    if timeout is None:
-        return None
+        if not env:
+            return None
+        try:
+            timeout = float(env)
+        except ValueError:
+            return _warn_env("REPRO_RUN_TIMEOUT", env, "not a number",
+                             None)
+        return timeout if timeout > 0 else None
     try:
         timeout = float(timeout)
     except (TypeError, ValueError):
-        raise ConfigError("REPRO_RUN_TIMEOUT/--timeout must be a number "
-                          "of seconds, got {!r}".format(timeout))
+        raise ConfigError("--timeout must be a number of seconds, "
+                          "got {!r}".format(timeout))
     return timeout if timeout > 0 else None
 
 
@@ -114,14 +155,19 @@ def resolve_retries(retries=None):
     """Pool respawns allowed per batch: arg > ``REPRO_RETRIES`` > 2."""
     if retries is None:
         env = os.environ.get("REPRO_RETRIES", "").strip()
-        if env:
-            retries = env
-    if retries is None:
-        return 2
+        if not env:
+            return 2
+        try:
+            parsed = int(env)
+        except ValueError:
+            return _warn_env("REPRO_RETRIES", env, "not an integer", 2)
+        if parsed < 0:
+            return _warn_env("REPRO_RETRIES", env, "must be >= 0", 2)
+        return parsed
     try:
         return max(0, int(retries))
     except (TypeError, ValueError):
-        raise ConfigError("REPRO_RETRIES/--retries must be an integer, "
+        raise ConfigError("--retries must be an integer, "
                           "got {!r}".format(retries))
 
 
@@ -133,8 +179,7 @@ def resolve_backoff():
     try:
         return max(0.0, float(env))
     except ValueError:
-        raise ConfigError("REPRO_RETRY_BACKOFF must be a number of "
-                          "seconds, got {!r}".format(env))
+        return _warn_env("REPRO_RETRY_BACKOFF", env, "not a number", 0.05)
 
 
 @lru_cache(maxsize=1)
@@ -385,20 +430,46 @@ class DiskCache:
                 pass
             return None
 
+    @contextlib.contextmanager
+    def _advisory_lock(self, exclusive=False):
+        """Cross-process writer/clearer lock on ``<root>/.lock``.
+
+        Writers hold it *shared* for the temp-file + rename window;
+        :meth:`clear` holds it *exclusive* while deleting, so a sweep
+        can never unlink a live ``.tmp-*`` file out from under a
+        concurrent ``store()`` (whose ``os.replace`` would then fail)
+        or race a rename into resurrecting a half-deleted entry.
+        Advisory ``flock`` only — platforms without :mod:`fcntl` fall
+        back to the pre-lock behaviour.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        lock_path = self.root / ".lock"
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(lock_path, "a+") as handle:
+            fcntl.flock(handle,
+                        fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
     def _write_pickle(self, path, obj):
         path.parent.mkdir(parents=True, exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            dir=str(path.parent), prefix=".tmp-", delete=False)
-        try:
-            with handle as fileobj:
-                pickle.dump(obj, fileobj, pickle.HIGHEST_PROTOCOL)
-            os.replace(handle.name, path)
-        except BaseException:
+        with self._advisory_lock(exclusive=False):
+            handle = tempfile.NamedTemporaryFile(
+                dir=str(path.parent), prefix=".tmp-", delete=False)
             try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+                with handle as fileobj:
+                    pickle.dump(obj, fileobj, pickle.HIGHEST_PROTOCOL)
+                os.replace(handle.name, path)
+            except BaseException:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
 
     def load(self, key):
         """Return the cached result for ``key`` or ``None``."""
@@ -467,23 +538,30 @@ class DiskCache:
 
     def clear(self):
         """Delete every on-disk entry (results *and* prepared traces)
-        plus any orphaned ``.tmp-*`` files; returns the number removed."""
+        plus any orphaned ``.tmp-*`` files; returns the number removed.
+
+        Holds the advisory lock *exclusive*, so concurrent writers
+        (pool workers mid-``store()``) finish their atomic rename
+        before the sweep runs — their temp files are either already
+        renamed (and deleted here as entries) or not yet created.
+        """
         removed = 0
-        entry_dir = self._entry_dir()
-        if entry_dir.is_dir():
-            for path in sorted(entry_dir.rglob("*.pkl")):
+        with self._advisory_lock(exclusive=True):
+            entry_dir = self._entry_dir()
+            if entry_dir.is_dir():
+                for path in sorted(entry_dir.rglob("*.pkl")):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+            for path in sorted(self._iter_temp_files()):
                 try:
                     path.unlink()
                     removed += 1
                 except OSError:
                     pass
-        for path in sorted(self._iter_temp_files()):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-        self.clear_index()
+            self.clear_index()
         return removed
 
     def _tally(self, root_dir, exclude=None):
@@ -557,6 +635,37 @@ class DiskCache:
         return count, total
 
 
+def read_journal(path):
+    """Parse a ``REPRO_ENGINE_LOG`` JSONL file, tolerating torn lines.
+
+    Returns ``(records, torn)``: every line that parses as a JSON
+    object, plus a count of lines skipped because a concurrent writer
+    (or a kill mid-append) left them incomplete or interleaved.  The
+    writer side appends each record as one atomic ``write()``, so torn
+    lines should be rare — but a reader (``doctor``, the service) must
+    never die on one.
+    """
+    records, torn = [], 0
+    try:
+        with open(path, "rb") as fileobj:
+            data = fileobj.read()
+    except OSError:
+        return [], 0
+    for line in data.split(b"\n"):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            torn += 1
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+        else:
+            torn += 1
+    return records, torn
+
+
 class EngineJournal:
     """Ring buffer of engine recovery events, optionally mirrored to disk.
 
@@ -566,11 +675,20 @@ class EngineJournal:
     are kept in memory (``fusion-sim doctor`` prints the tail).  When
     ``REPRO_ENGINE_LOG`` names a file, each event is also appended as
     one JSON line (best-effort — journal I/O must never fail a batch).
+    Appends are a single ``os.write`` on an ``O_APPEND`` descriptor, so
+    concurrent engine processes sharing one log file interleave whole
+    lines, never bytes; :func:`read_journal` skips anything torn by a
+    writer killed mid-append.  ``on_record`` (when set) receives every
+    record — the bridge the sweep service uses to mirror engine
+    recovery events into the durable experiment store.
     """
 
     def __init__(self, maxlen=256):
         self.events = deque(maxlen=maxlen)
         self._seq = 0
+        #: Optional callback ``(record_dict) -> None``; exceptions are
+        #: swallowed — observers must never fail a batch.
+        self.on_record = None
 
     def emit(self, event, **detail):
         self._seq += 1
@@ -580,10 +698,20 @@ class EngineJournal:
         self.events.append(record)
         path = os.environ.get("REPRO_ENGINE_LOG", "").strip()
         if path:
+            line = (json.dumps(record, default=str) + "\n").encode("utf-8")
             try:
-                with open(path, "a") as fileobj:
-                    fileobj.write(json.dumps(record, default=str) + "\n")
+                fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+                             0o644)
+                try:
+                    os.write(fd, line)
+                finally:
+                    os.close(fd)
             except OSError:
+                pass
+        if self.on_record is not None:
+            try:
+                self.on_record(record)
+            except Exception:
                 pass
         return record
 

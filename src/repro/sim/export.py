@@ -9,6 +9,8 @@ import csv
 import io
 import json
 
+from .results import is_failure
+
 
 def table_to_csv(table):
     """Render an :class:`ExperimentTable` as a CSV string."""
@@ -37,8 +39,23 @@ def table_to_json(table, indent=2):
 def result_to_dict(result, include_stats=False):
     """Flatten a :class:`RunResult` for export.
 
-    ``include_stats`` adds the full raw counter map (large).
+    ``include_stats`` adds the full raw counter map (large).  A
+    :class:`~repro.sim.results.FailedResult` hole exports its error
+    provenance instead of metrics (``status: "failed"``) — a non-strict
+    sweep's JSON must not die on the one point that did.
     """
+    if is_failure(result):
+        payload = {
+            "system": result.system,
+            "benchmark": result.benchmark,
+            "size": result.size,
+            "status": "failed",
+            "error": result.error,
+            "attempts": result.attempts,
+        }
+        if result.meta:
+            payload["engine"] = dict(result.meta)
+        return payload
     payload = {
         "system": result.system,
         "benchmark": result.benchmark,
@@ -72,21 +89,37 @@ def result_to_json(result, include_stats=False, indent=2):
 
 
 def results_to_csv(results):
-    """Render a list of :class:`RunResult` as one comparison CSV."""
+    """Render a list of :class:`RunResult` as one comparison CSV.
+
+    Failure holes become rows with ``status=failed`` and their error in
+    the trailing columns; metric cells stay blank.  Headers come from
+    the first *completed* row (every completed export has the same
+    shape), so a sweep that failed its first point still renders.
+    """
     if not results:
         return ""
     rows = [result_to_dict(result) for result in results]
-    component_keys = sorted(rows[0]["energy_components_pj"])
-    headers = [key for key in rows[0]
-               if key not in ("energy_components_pj", "engine")]
+    template = next((row for row in rows if row.get("status") != "failed"),
+                    None)
+    if template is None:
+        headers = ["system", "benchmark", "size"]
+        component_keys = []
+    else:
+        component_keys = sorted(template["energy_components_pj"])
+        headers = [key for key in template
+                   if key not in ("energy_components_pj", "engine")]
     headers += ["energy_{}_pj".format(key) for key in component_keys]
+    headers += ["status", "error"]
     buffer = io.StringIO()
     writer = csv.writer(buffer)
     writer.writerow(headers)
     for row in rows:
-        components = row.pop("energy_components_pj")
+        components = row.pop("energy_components_pj", {})
         row.pop("engine", None)
-        writer.writerow([row.get(key, "") for key in headers]
-                        + [components.get(key, 0.0)
-                           for key in component_keys])
+        status = row.pop("status", "ok")
+        error = row.pop("error", "")
+        writer.writerow(
+            [row.get(key, "") for key in headers[:-2 - len(component_keys)]]
+            + [components.get(key, 0.0) for key in component_keys]
+            + [status, error])
     return buffer.getvalue()

@@ -7,6 +7,24 @@ under each paper table/figure id).
 
 from dataclasses import dataclass, field
 
+from .results import is_failure
+
+#: What a failure hole renders as in any table cell.
+FAILED_CELL = "FAILED"
+
+
+def result_cells(result, extractors):
+    """Metric cells for one run result, guarding failure holes.
+
+    ``extractors`` is a sequence of callables ``result -> value``; a
+    :class:`~repro.sim.results.FailedResult` yields one
+    :data:`FAILED_CELL` per metric instead of an ``AttributeError``
+    from deep inside an extractor.
+    """
+    if is_failure(result):
+        return [FAILED_CELL] * len(extractors)
+    return [extract(result) for extract in extractors]
+
 
 @dataclass
 class ExperimentTable:

@@ -7,6 +7,17 @@ from ..common.units import to_kb
 from ..energy.accounting import EnergyBreakdown, breakdown_from_stats
 
 
+def is_failure(result):
+    """True when ``result`` is a failure hole, not a real simulation.
+
+    The one guard every downstream consumer (tables, exporters, charts,
+    the sweep service) should use before touching :class:`RunResult`
+    attributes — a :class:`FailedResult` has no ``energy``, ``stats``
+    or cycle counts, only ``error``/``attempts`` provenance.
+    """
+    return not getattr(result, "ok", True)
+
+
 @dataclass
 class FailedResult:
     """A simulation point the engine could not complete.

@@ -22,7 +22,7 @@ from dataclasses import replace
 from ..common.config import CacheConfig, small_config
 from ..common.units import KB
 from .engine import RunRequest, get_engine
-from .reporting import ExperimentTable
+from .reporting import ExperimentTable, result_cells
 
 #: Metric extractors available to sweeps.
 METRICS = {
@@ -89,6 +89,32 @@ def _grid(axes):
             yield (label,) + labels, (transform,) + transforms
 
 
+def grid_points(systems, benchmarks, axes, size="small",
+                base_config=None):
+    """Materialise the axis product as engine requests.
+
+    Returns ``(points, requests)`` where ``points`` is a list of
+    ``(system, benchmark, labels)`` tuples aligned with ``requests``.
+    Shared by :func:`sweep` and the service's serializable job specs
+    (:mod:`repro.sim.jobs`), so a daemon-expanded grid is bit-identical
+    to the one a direct ``sweep()`` call would submit.
+    """
+    base_config = base_config or small_config()
+    points, requests = [], []
+    for system in systems:
+        for benchmark in benchmarks:
+            for labels, transforms in _grid(axes):
+                config = base_config
+                for transform in transforms:
+                    config = transform(config)
+                config = replace(config, name="sweep:" + ":".join(
+                    labels) if labels else config.name)
+                points.append((system, benchmark, labels))
+                requests.append(RunRequest(system, benchmark, size,
+                                           config))
+    return points, requests
+
+
 def sweep(systems, benchmarks, axes, metrics=("accel_cycles",
                                               "energy_uj"),
           size="small", base_config=None, strict=True, timeout=None):
@@ -105,7 +131,6 @@ def sweep(systems, benchmarks, axes, metrics=("accel_cycles",
         if metric not in METRICS:
             raise KeyError("unknown metric {!r}; choose from {}".format(
                 metric, ", ".join(sorted(METRICS))))
-    base_config = base_config or small_config()
     axis_names = [name for name, _ in axes]
     table = ExperimentTable(
         "Sweep", "design-space sweep (size={})".format(size),
@@ -115,26 +140,15 @@ def sweep(systems, benchmarks, axes, metrics=("accel_cycles",
     # execution engine as one batch — deduplicated, disk-cached and
     # fanned out over REPRO_JOBS workers — then fill the table from
     # the returned (order-preserving) results.
-    points, requests = [], []
-    for system in systems:
-        for benchmark in benchmarks:
-            for labels, transforms in _grid(axes):
-                config = base_config
-                for transform in transforms:
-                    config = transform(config)
-                config = replace(config, name="sweep:" + ":".join(
-                    labels) if labels else config.name)
-                points.append((system, benchmark, labels))
-                requests.append(RunRequest(system, benchmark, size, config))
+    points, requests = grid_points(systems, benchmarks, axes, size,
+                                   base_config)
     run_results = get_engine().run_batch(requests, strict=strict,
                                          timeout=timeout)
 
     results = {}
+    extractors = [METRICS[m] for m in metrics]
     for (system, benchmark, labels), result in zip(points, run_results):
         results[(system, benchmark) + labels] = result
-        if result.ok:
-            cells = [METRICS[m](result) for m in metrics]
-        else:
-            cells = ["FAILED"] * len(metrics)
-        table.add_row(system, benchmark, *labels, *cells)
+        table.add_row(system, benchmark, *labels,
+                      *result_cells(result, extractors))
     return table, results

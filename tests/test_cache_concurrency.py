@@ -1,0 +1,187 @@
+"""Concurrency hardening: cache clear vs writers, shared journal
+appends, and two engines racing over one cache root.
+
+These are the regression tests for the concurrency bugfix sweep: the
+advisory lock that keeps ``DiskCache.clear()`` from sweeping a live
+writer's ``.tmp-*`` file, the single-``write()`` JSONL appends that
+keep a shared ``REPRO_ENGINE_LOG`` parseable under concurrent engines,
+and the end-to-end guarantee that two engines over one cache root
+produce bit-identical results with no torn entries.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.sim import export
+from repro.sim.engine import (DiskCache, EngineJournal, ExecutionEngine,
+                              cache_key, read_journal)
+from repro.sim.sweep import grid_points, lease_axis
+
+FORK = multiprocessing.get_context("fork")
+
+
+def exported(result):
+    payload = export.result_to_dict(result)
+    payload.pop("engine", None)
+    return payload
+
+
+# -- clear() vs a concurrent writer ---------------------------------------
+
+class SlowPickle:
+    """Pickling this sleeps, pinning a writer inside its temp-file +
+    rename window (and thus inside the shared advisory lock)."""
+
+    def __init__(self, delay=0.0):
+        self.delay = delay
+
+    def __reduce__(self):
+        time.sleep(self.delay)
+        return (SlowPickle, (0.0,))
+
+
+def _slow_writer(root, key, delay):
+    cache = DiskCache(root)
+    try:
+        cache.store(key, SlowPickle(delay))
+    except BaseException:
+        os._exit(1)
+    os._exit(0)
+
+
+def test_clear_does_not_race_concurrent_writer(tmp_path):
+    """clear() in one process while another is mid-store(): the writer
+    must finish its atomic rename (no exception, no orphan temp) and
+    the surviving state must never be a torn entry."""
+    root = tmp_path / "cache"
+    key = "ab" + "0" * 62
+    writer = FORK.Process(target=_slow_writer, args=(root, key, 1.0))
+    writer.start()
+    # Let the writer get inside the pickle (it sleeps 1s there while
+    # holding the shared lock), then sweep underneath it.
+    time.sleep(0.3)
+    cache = DiskCache(root)
+    cache.clear()
+    writer.join(timeout=30)
+    assert writer.exitcode == 0
+    # No orphaned temp files either way the race resolved.
+    assert list(cache._iter_temp_files()) == []
+    # The entry either survived whole or is gone — never torn.
+    fresh = DiskCache(root)
+    loaded = fresh.load(key)
+    assert loaded is None or isinstance(loaded, SlowPickle)
+    assert fresh.corrupt_drops == 0
+
+
+# -- shared REPRO_ENGINE_LOG ----------------------------------------------
+
+def _journal_hammer(path, tag, count):
+    os.environ["REPRO_ENGINE_LOG"] = str(path)
+    journal = EngineJournal()
+    for i in range(count):
+        journal.emit("hammer", tag=tag, i=i, pad="x" * 256)
+    os._exit(0)
+
+
+def test_journal_appends_are_atomic_across_processes(tmp_path):
+    """Four processes hammering one log file: every line parses, none
+    are torn or interleaved mid-record."""
+    log = tmp_path / "engine.log"
+    workers = [FORK.Process(target=_journal_hammer, args=(log, tag, 50))
+               for tag in "abcd"]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=60)
+        assert worker.exitcode == 0
+    records, torn = read_journal(log)
+    assert torn == 0
+    assert len(records) == 200
+    for tag in "abcd":
+        seen = sorted(r["i"] for r in records if r["tag"] == tag)
+        assert seen == list(range(50))
+
+
+def test_read_journal_skips_torn_lines(tmp_path):
+    log = tmp_path / "engine.log"
+    log.write_bytes(
+        b'{"seq": 1, "event": "ok"}\n'
+        b'{"seq": 2, "event": "torn-mid-wri'           # kill -9 mid-append
+        b'\n{"seq": 3, "event": "also-ok"}\n'
+        b'[1, 2, 3]\n'                                  # parses, not a dict
+        b'\xff\xfe not utf-8 \xff\n')
+    records, torn = read_journal(log)
+    assert [r["event"] for r in records] == ["ok", "also-ok"]
+    assert torn == 3
+
+
+def test_read_journal_missing_file():
+    assert read_journal("/nonexistent/engine.log") == ([], 0)
+
+
+# -- two engines, one cache root ------------------------------------------
+
+def _engine_child(root, systems, out_path):
+    _points, requests = grid_points(systems, ["adpcm"],
+                                    [lease_axis(100, 500)], "tiny")
+    engine = ExecutionEngine(jobs=1, cache=DiskCache(root))
+    results = engine.run_batch(requests, strict=False)
+    payload = {
+        "results": [exported(result) for result in results],
+        "telemetry": engine.telemetry.snapshot(),
+        "corrupt_drops": engine.cache.corrupt_drops,
+    }
+    out_path.write_text(json.dumps(payload))
+    os._exit(0)
+
+
+@pytest.mark.slow
+def test_two_engines_shared_cache_root_stress(tmp_path):
+    """Two engines race overlapping grids over one cache root: results
+    are bit-identical to a serial single-engine run, no entry is torn,
+    and neither engine recomputes beyond its own dedupe window."""
+    shared_root = tmp_path / "shared-cache"
+    grids = {"a": ["FUSION", "SHARED"], "b": ["SHARED", "SCRATCH"]}
+    outs = {name: tmp_path / (name + ".json") for name in grids}
+    workers = [FORK.Process(target=_engine_child,
+                            args=(shared_root, systems, outs[name]))
+               for name, systems in grids.items()]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=300)
+        assert worker.exitcode == 0
+
+    for name, systems in grids.items():
+        payload = json.loads(outs[name].read_text())
+        # Serial golden run over a private root.
+        _points, requests = grid_points(systems, ["adpcm"],
+                                        [lease_axis(100, 500)], "tiny")
+        serial = ExecutionEngine(
+            jobs=1, cache=DiskCache(tmp_path / "serial-cache"))
+        golden = [exported(result)
+                  for result in serial.run_batch(requests, strict=False)]
+        assert payload["results"] == golden
+        telemetry = payload["telemetry"]
+        assert payload["corrupt_drops"] == 0
+        assert telemetry["corrupt_drops"] == 0
+        assert telemetry["failed_points"] == 0
+        # Dedupe held inside each engine: at most one computation per
+        # unique point of its own grid.
+        assert telemetry["computed"] <= telemetry["unique"] == 4
+
+    # Every entry left in the shared root is loadable (no torn pickles).
+    reader = DiskCache(shared_root)
+    all_systems = sorted({s for systems in grids.values()
+                          for s in systems})
+    _points, requests = grid_points(all_systems, ["adpcm"],
+                                    [lease_axis(100, 500)], "tiny")
+    loaded = [reader.load(cache_key(request.normalized()))
+              for request in requests]
+    assert all(result is not None for result in loaded)
+    assert reader.corrupt_drops == 0
+    assert list(reader._iter_temp_files()) == []

@@ -8,6 +8,7 @@ from repro.sim.charts import (
     stacked_bar,
     stacked_chart,
 )
+from repro.sim.results import FailedResult
 from repro.sim.simulator import run
 
 
@@ -62,3 +63,29 @@ def test_figure6a_chart_renders_real_results():
     scratch_line = [line for line in chart.splitlines()
                     if "SCRATCH" in line][0]
     assert " 1.00 " in scratch_line
+
+
+def test_figure6a_chart_failed_system_renders_row():
+    results = {"ADPCM": {
+        "SCRATCH": run("SCRATCH", "adpcm", "tiny"),
+        "FUSION": FailedResult("FUSION", "adpcm", "tiny",
+                               error="boom")}}
+    chart = figure6a_chart(results)
+    assert "FAILED: boom" in chart
+    # The healthy baseline still renders normally.
+    scratch_line = [line for line in chart.splitlines()
+                    if "SCRATCH" in line][0]
+    assert " 1.00 " in scratch_line
+
+
+def test_figure6a_chart_survives_failed_scratch_baseline():
+    results = {"ADPCM": {
+        "SCRATCH": FailedResult("SCRATCH", "adpcm", "tiny",
+                                error="dead"),
+        "FUSION": run("FUSION", "adpcm", "tiny")}}
+    chart = figure6a_chart(results)
+    assert "FAILED: dead" in chart
+    # FUSION falls back to unnormalised pJ totals instead of dying.
+    fusion_line = [line for line in chart.splitlines()
+                   if "FUSION" in line][0]
+    assert "|" in fusion_line

@@ -102,10 +102,72 @@ def test_resolve_jobs_precedence(monkeypatch):
     assert resolve_jobs(0) == 1
 
 
-def test_resolve_jobs_rejects_garbage(monkeypatch):
+def test_resolve_jobs_env_garbage_warns_and_defaults(monkeypatch):
+    # Malformed *environment* values degrade loudly to the default —
+    # a daemon must not die because a shell exported REPRO_JOBS=many —
+    # while explicit arguments (the caller typed those) still raise.
+    default = os.cpu_count() or 1
     monkeypatch.setenv("REPRO_JOBS", "many")
-    with pytest.raises(ConfigError, match="REPRO_JOBS"):
-        resolve_jobs()
+    with pytest.warns(RuntimeWarning, match="REPRO_JOBS"):
+        assert resolve_jobs() == default
+    monkeypatch.setenv("REPRO_JOBS", "-3")
+    with pytest.warns(RuntimeWarning, match="REPRO_JOBS"):
+        assert resolve_jobs() == default
+    with pytest.raises(ConfigError, match="--jobs"):
+        resolve_jobs("many")
+
+
+def test_resolve_timeout_env_garbage_warns_and_defaults(monkeypatch):
+    from repro.sim.engine import resolve_timeout
+
+    monkeypatch.setenv("REPRO_RUN_TIMEOUT", "abc")
+    with pytest.warns(RuntimeWarning, match="REPRO_RUN_TIMEOUT"):
+        assert resolve_timeout() is None
+    monkeypatch.setenv("REPRO_RUN_TIMEOUT", "2.5")
+    assert resolve_timeout() == 2.5
+    monkeypatch.setenv("REPRO_RUN_TIMEOUT", "-1")
+    assert resolve_timeout() is None          # <=0 disables, no warning
+    with pytest.raises(ConfigError, match="--timeout"):
+        resolve_timeout("abc")
+
+
+def test_resolve_retries_env_garbage_warns_and_defaults(monkeypatch):
+    from repro.sim.engine import resolve_retries
+
+    monkeypatch.setenv("REPRO_RETRIES", "lots")
+    with pytest.warns(RuntimeWarning, match="REPRO_RETRIES"):
+        assert resolve_retries() == 2
+    monkeypatch.setenv("REPRO_RETRIES", "-1")
+    with pytest.warns(RuntimeWarning, match="REPRO_RETRIES"):
+        assert resolve_retries() == 2
+    monkeypatch.setenv("REPRO_RETRIES", "5")
+    assert resolve_retries() == 5
+    with pytest.raises(ConfigError, match="--retries"):
+        resolve_retries("lots")
+
+
+def test_resolve_backoff_env_garbage_warns_and_defaults(monkeypatch):
+    from repro.sim.engine import resolve_backoff
+
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF", "soon")
+    with pytest.warns(RuntimeWarning, match="REPRO_RETRY_BACKOFF"):
+        assert resolve_backoff() == 0.05
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.2")
+    assert resolve_backoff() == 0.2
+
+
+def test_env_flag_unrecognized_warns(monkeypatch):
+    from repro.sim.engine import _env_flag
+
+    monkeypatch.setenv("REPRO_NO_CACHE", "maybe")
+    with pytest.warns(RuntimeWarning, match="REPRO_NO_CACHE"):
+        assert _env_flag("REPRO_NO_CACHE") is False
+    for truthy in ("1", "true", "YES", "on"):
+        monkeypatch.setenv("REPRO_NO_CACHE", truthy)
+        assert _env_flag("REPRO_NO_CACHE") is True
+    for falsy in ("", "0", "false", "no", "OFF"):
+        monkeypatch.setenv("REPRO_NO_CACHE", falsy)
+        assert _env_flag("REPRO_NO_CACHE") is False
 
 
 # -- disk cache ------------------------------------------------------------

@@ -12,7 +12,8 @@ from repro.sim.export import (
     table_to_dict,
     table_to_json,
 )
-from repro.sim.reporting import ExperimentTable
+from repro.sim.reporting import FAILED_CELL, ExperimentTable, result_cells
+from repro.sim.results import FailedResult, is_failure
 from repro.sim.simulator import run
 
 
@@ -76,3 +77,56 @@ def test_results_to_csv_comparison():
 
 def test_results_to_csv_empty():
     assert results_to_csv([]) == ""
+
+
+# -- failure holes ---------------------------------------------------------
+
+def test_is_failure_discriminates():
+    assert is_failure(FailedResult("FUSION", "adpcm"))
+    assert not is_failure(run("FUSION", "adpcm", "tiny"))
+    # Anything without an ``ok`` attribute is treated as a result.
+    assert not is_failure(object())
+
+
+def test_result_to_dict_failure_hole():
+    hole = FailedResult("FUSION", "adpcm", "tiny",
+                        error="TimeoutError('boom')", attempts=3,
+                        meta={"source": "parallel"})
+    payload = result_to_dict(hole)
+    assert payload["status"] == "failed"
+    assert payload["error"] == "TimeoutError('boom')"
+    assert payload["attempts"] == 3
+    assert payload["engine"] == {"source": "parallel"}
+    assert "accel_cycles" not in payload
+
+
+def test_results_to_csv_with_failure_holes():
+    """A failed first row must not dictate the header shape, and the
+    hole renders blanks plus its error provenance."""
+    good = run("FUSION", "adpcm", "tiny")
+    hole = FailedResult("SHARED", "adpcm", "tiny", error="boom",
+                        attempts=2)
+    rows = list(csv.DictReader(io.StringIO(results_to_csv([hole,
+                                                           good]))))
+    assert rows[0]["system"] == "SHARED"
+    assert rows[0]["status"] == "failed" and rows[0]["error"] == "boom"
+    assert rows[0]["accel_cycles"] == ""
+    assert rows[1]["status"] == "ok" and rows[1]["error"] == ""
+    assert float(rows[1]["energy_pj"]) > 0
+
+
+def test_results_to_csv_all_failed():
+    text = results_to_csv([FailedResult("FUSION", "adpcm",
+                                        error="x")])
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert rows[0]["system"] == "FUSION"
+    assert rows[0]["status"] == "failed" and rows[0]["error"] == "x"
+
+
+def test_result_cells_guards_holes():
+    extractors = [lambda r: r.accel_cycles,
+                  lambda r: r.energy.total_pj]
+    assert result_cells(FailedResult("FUSION", "adpcm"),
+                        extractors) == [FAILED_CELL, FAILED_CELL]
+    cells = result_cells(run("FUSION", "adpcm", "tiny"), extractors)
+    assert all(value > 0 for value in cells)

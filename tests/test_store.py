@@ -1,0 +1,199 @@
+"""The durable experiment store and serializable job specs
+(repro.sim.store, repro.sim.jobs)."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.sim import jobs as jobs_mod
+from repro.sim.engine import RunRequest
+from repro.sim.store import ExperimentStore, default_owner, owner_pid_alive
+from repro.sim.sweep import grid_points, lease_axis
+
+SPEC = {"systems": ["FUSION", "SHARED"], "benchmarks": ["adpcm"],
+        "size": "tiny", "axes": [{"kind": "lease",
+                                  "values": [100, 500]}]}
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = ExperimentStore(tmp_path / "store.db")
+    yield store
+    store.close()
+
+
+# -- job specs -------------------------------------------------------------
+
+def test_normalize_spec_canonicalises():
+    spec = jobs_mod.normalize_spec(SPEC)
+    assert spec["axes"] == [{"kind": "lease", "values": ["100", "500"]}]
+    assert spec["metrics"] == list(jobs_mod.DEFAULT_METRICS)
+
+
+@pytest.mark.parametrize("broken", [
+    {},
+    {"systems": ["NOPE"], "benchmarks": ["adpcm"]},
+    {"systems": ["FUSION"], "benchmarks": ["nope"]},
+    {"systems": ["FUSION"], "benchmarks": ["adpcm"], "size": "huge"},
+    {"systems": ["FUSION"], "benchmarks": ["adpcm"],
+     "axes": [{"kind": "voltage", "values": [1]}]},
+    {"systems": ["FUSION"], "benchmarks": ["adpcm"],
+     "axes": [{"kind": "lease", "values": []}]},
+    {"systems": ["FUSION"], "benchmarks": ["adpcm"],
+     "metrics": ["nope"]},
+])
+def test_normalize_spec_rejects(broken):
+    with pytest.raises(ConfigError):
+        jobs_mod.normalize_spec(broken)
+
+
+def test_spec_expands_to_sweep_grid():
+    """A spec expands to the exact requests a direct sweep would run."""
+    _points, direct = grid_points(["FUSION", "SHARED"], ["adpcm"],
+                                  [lease_axis(100, 500)], "tiny")
+    entries = list(jobs_mod.spec_points(SPEC))
+    assert [request for _k, _p, request in entries] == direct
+
+
+def test_point_request_round_trip():
+    for key, point, request in jobs_mod.spec_points(SPEC):
+        assert jobs_mod.point_request(point) == request
+        # key is a pure content hash of the point JSON
+        assert key == jobs_mod.run_key(json.loads(
+            json.dumps(point)))
+
+
+def test_run_key_distinguishes_points():
+    entries = list(jobs_mod.spec_points(SPEC))
+    assert len({key for key, _p, _r in entries}) == len(entries)
+
+
+# -- store lifecycle -------------------------------------------------------
+
+def test_submit_creates_pending_rows(store):
+    job_id, new_rows = store.submit(SPEC)
+    assert new_rows == 4
+    counts = store.job_status(job_id)
+    assert counts["pending"] == 4 and counts["total"] == 4
+    assert store.job_spec(job_id)["systems"] == ["FUSION", "SHARED"]
+
+
+def test_overlapping_submission_shares_rows(store):
+    store.submit(SPEC)
+    overlapping = dict(SPEC, systems=["SHARED", "SCRATCH"])
+    _job2, new_rows = store.submit(overlapping)
+    # SHARED x adpcm x {100,500} already exist; only SCRATCH rows are new.
+    assert new_rows == 2
+    assert sum(store.counts().values()) == 6
+
+
+def test_claim_is_compare_and_swap(store):
+    store.submit(SPEC)
+    a = store.claim("ownerA", limit=10)
+    b = store.claim("ownerB", limit=10)
+    assert len(a) == 4 and b == []
+
+
+def test_claim_concurrent_owners_never_share_a_row(store):
+    store.submit(SPEC)
+    claims = {}
+
+    def worker(owner):
+        claims[owner] = store.claim(owner, limit=2)
+
+    threads = [threading.Thread(target=worker, args=("o%d" % i,))
+               for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    keys = [key for got in claims.values() for key, _point in got]
+    assert len(keys) == len(set(keys)) == 4
+
+
+def test_expired_lease_is_reclaimable(store):
+    store.submit(SPEC)
+    claimed = store.claim("dead", limit=1, lease_s=0.01)
+    assert len(claimed) == 1
+    time.sleep(0.05)
+    stolen = store.claim("alive", limit=10)
+    stolen_keys = {key for key, _point in stolen}
+    assert claimed[0][0] in stolen_keys
+    # the attempt counter shows both claims on the stolen row
+    job_id, _ = store.submit(SPEC)
+    attempts = {row["key"]: row["attempts"]
+                for row in store.job_rows(job_id)}
+    assert attempts[claimed[0][0]] == 2
+
+
+def test_complete_and_fail_columns(store):
+    job_id, _ = store.submit(SPEC)
+    (key, _point), *rest = store.claim(default_owner(), limit=10)
+    store.complete(key, {"fake": "result"}, "codefp", "cfgfp")
+    (key2, _), *_ = rest
+    store.fail(key2, "ZeroDivisionError('boom')", "codefp")
+    rows = {row["key"]: row for row in store.job_rows(job_id)}
+    done = rows[key]
+    assert done["status"] == "done"
+    assert done["code_fingerprint"] == "codefp"
+    assert done["config_fingerprint"] == "cfgfp"
+    assert done["error"] is None
+    failed = rows[key2]
+    assert failed["status"] == "failed"
+    assert "ZeroDivision" in failed["error"]
+    assert failed["attempts"] == 1
+    results = {pos: (status, result, error) for pos, _p, status,
+               result, error in store.job_results(job_id)}
+    assert ("done", {"fake": "result"}, None) in results.values()
+
+
+def test_release_and_dead_owner_recovery(store):
+    store.submit(SPEC)
+    # A dead local pid's claims are recoverable without waiting for
+    # the lease to expire (the kill -9 resume path).
+    dead_owner = "{}:{}:{}".format(__import__("socket").gethostname(),
+                                   99999999, "deadbeef")
+    assert owner_pid_alive(dead_owner) is False
+    claimed = store.claim(dead_owner, limit=2, lease_s=3600)
+    assert len(claimed) == 2
+    released = store.recover_dead_owners()
+    assert released == 2
+    assert store.counts()["pending"] == 4
+    # Foreign-host owners are left alone (liveness unknowable).
+    foreign = store.claim("otherhost:1:abc", limit=1, lease_s=3600)
+    assert len(foreign) == 1
+    assert store.recover_dead_owners() == 0
+
+
+def test_persistence_across_reopen(tmp_path):
+    store = ExperimentStore(tmp_path / "store.db")
+    job_id, _ = store.submit(SPEC)
+    (key, _point), *_ = store.claim("owner", limit=1)
+    store.complete(key, RunRequest("FUSION", "adpcm", "tiny"), "fp")
+    store.close()
+    reopened = ExperimentStore(tmp_path / "store.db")
+    counts = reopened.job_status(job_id)
+    assert counts["done"] == 1 and counts["total"] == 4
+    results = [r for _pos, _p, status, r, _e in
+               reopened.job_results(job_id) if status == "done"]
+    assert results == [RunRequest("FUSION", "adpcm", "tiny")]
+    reopened.close()
+
+
+def test_events_journal_bridge(store):
+    store.record_event("engine", "pool_respawn", round=1, owner="x")
+    store.record_event("service", "started")
+    tail = store.events_tail(5)
+    assert [event["event"] for event in tail][-2:] == [
+        "pool_respawn", "started"]
+    assert json.loads(tail[-2]["detail"])["round"] == 1
+
+
+def test_unknown_job_raises(store):
+    with pytest.raises(KeyError):
+        store.job_status("nope")
+    with pytest.raises(KeyError):
+        store.job_results("nope")
