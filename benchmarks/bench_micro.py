@@ -148,6 +148,62 @@ def test_micro_phase_matches_coalesced():
     assert phased_end == coalesced_end
 
 
+def _warm_window_setup():
+    """Warm ACC stack + a long steady-state trace whose phase plan
+    compiles to one large :class:`~repro.workloads.vector.VectorWindow`
+    (the regime the vector rung targets)."""
+    import pytest
+
+    pytest.importorskip("numpy")
+    trace = perf_smoke.make_run_trace(num_runs=2048)
+    core = AxcCore(0, StatsRegistry())
+    l0x = perf_smoke.build_acc_l0x()
+    l0x.invocation_lease = lease = trace.lease_time
+
+    def access_run(op, count, now, horizon, interval):
+        return l0x.access_run(op, count, now, horizon, interval, lease)
+
+    core.run(trace, 0, l0x.access, mlp=4)  # install every line
+    return trace, core, l0x, access_run
+
+
+def test_micro_acc_windows_phased(benchmark):
+    """Ops/sec serving the long window one ``phase_quote`` at a time
+    (comparison point for the vector rung's batch win)."""
+    trace, core, l0x, access_run = _warm_window_setup()
+
+    benchmark(lambda: core.run(trace, 0, l0x.access, mlp=4,
+                               access_run=access_run,
+                               phase_quote=l0x.phase_quote))
+
+
+def test_micro_acc_windows_vector(benchmark):
+    """Ops/sec with ``phase_quote_batch`` guarding and accounting the
+    whole multi-phase window in one vectorised pass (the fifth rung of
+    the fallback ladder)."""
+    trace, core, l0x, access_run = _warm_window_setup()
+
+    benchmark(lambda: core.run(
+        trace, 0, l0x.access, mlp=4, access_run=access_run,
+        phase_quote=l0x.phase_quote,
+        phase_quote_batch=l0x.phase_quote_batch))
+
+
+def test_micro_vector_matches_phased():
+    """Semantics gate: the batched window path and the per-phase path
+    end at the same cycle (counter bit-identity is covered by
+    ``tests/test_property_vector.py``)."""
+    trace, core, l0x, access_run = _warm_window_setup()
+    phased_end = core.run(trace, 0, l0x.access, mlp=4,
+                          access_run=access_run,
+                          phase_quote=l0x.phase_quote)
+    vector_end = core.run(trace, 0, l0x.access, mlp=4,
+                          access_run=access_run,
+                          phase_quote=l0x.phase_quote,
+                          phase_quote_batch=l0x.phase_quote_batch)
+    assert vector_end == phased_end
+
+
 @functools.lru_cache(maxsize=1)
 def _iterated_fft_workload():
     """A small iterated FFT: every invocation recurs eight times, the

@@ -58,10 +58,13 @@ Energy: Aladdin-style activity counts are charged per compute chunk.
 
 import heapq
 import os
+import warnings
 
 from ..energy.accel_energy import INVOCATION_OVERHEAD_PJ, compute_energy_pj
+from ..workloads import vector as vector_mod
 from ..workloads.lowering import lowered_trace
 from ..workloads.phases import phase_plan
+from ..workloads.vector import vector_plan
 
 #: Global enable for the run-coalescing fast path; tests flip this to
 #: run the same workload through both paths.
@@ -72,6 +75,32 @@ COALESCE_RUNS = True
 #: value, and the equivalence property tests flip the module attribute.
 STEADY_PHASES = os.environ.get("STEADY_PHASES", "1").strip().lower() \
     not in ("0", "false", "off", "no")
+
+#: Global enable for the vectorised phase-window fast path (the fifth
+#: rung: whole sequences of lease-stable phases batch-quoted and
+#: applied in one pass).  Same toggle discipline as ``STEADY_PHASES``;
+#: requires numpy — on a numpy-less install the rung silently (after
+#: one warning) degrades to the per-phase path, so results never
+#: depend on whether numpy is importable.
+VECTOR_PHASES = os.environ.get("VECTOR_PHASES", "1").strip().lower() \
+    not in ("0", "false", "off", "no")
+
+_warned_no_numpy = False
+
+
+def _vector_available():
+    """True when the vector rung can run; warns once when numpy is
+    missing but ``VECTOR_PHASES`` asked for it."""
+    global _warned_no_numpy
+    if vector_mod.HAVE_NUMPY:
+        return True
+    if not _warned_no_numpy:
+        _warned_no_numpy = True
+        warnings.warn(
+            "VECTOR_PHASES requested but numpy is not installed; "
+            "falling back to the steady-state phase rung",
+            RuntimeWarning, stacklevel=3)
+    return False
 
 
 class AxcCore:
@@ -88,7 +117,7 @@ class AxcCore:
 
     def run(self, trace, start_time, access_fn, mlp, issue_interval=1,
             charge_invocation=True, access_run=None, phase_quote=None,
-            leased_phases=True):
+            leased_phases=True, phase_quote_batch=None):
         """Execute one invocation to completion; returns the end time.
 
         Args:
@@ -134,6 +163,21 @@ class AxcCore:
                 ``True`` for lease-capped windows (ACC's cover guard
                 wants short phases), ``False`` for the long structural
                 windows an expiry-free controller can absorb whole.
+            phase_quote_batch: optional ``(window, now, horizon,
+                issue_interval) -> (accepted, load_lat, store_lat) |
+                None`` vectorised entry point, tried on every
+                :class:`~repro.workloads.vector.VectorWindow` of the
+                plan (a maximal run of consecutive phases).  The
+                controller evaluates the whole window's guard in one
+                vectorised pass and serves/accounts the *accepted
+                prefix* of its phases in bulk; the core then applies
+                the accepted timelines — in one closed-form array
+                reduction when the stall-free regime holds, else one
+                cached timeline per phase — and the remaining entries
+                drop down the ladder unchanged.  ``None`` (or an empty
+                prefix) declines the window to the per-phase path.
+                Only consulted when ``VECTOR_PHASES`` is on and numpy
+                is importable.
         """
         mlp = max(1, int(mlp))
         lowered = lowered_trace(trace, self.issue_width)
@@ -145,15 +189,39 @@ class AxcCore:
             plan = phase_plan(trace, self.issue_width, leased_phases)
             if not plan.num_phases:
                 plan = None
+        vplan = None
+        if plan is not None and phase_quote_batch is not None \
+                and VECTOR_PHASES and _vector_available():
+            vplan = vector_plan(trace, self.issue_width, leased_phases)
+            if vplan is not None and not vplan.windows:
+                vplan = None
         if plan is None:
             now = self._interpret(
                 lowered.steps, start_time, outstanding, fill_time_of,
                 access_fn, run_fn, mlp, issue_interval)
         else:
             now = start_time
-            heappop = heapq.heappop
-            for phase, steps in plan.entries:
+            entries = plan.entries
+            num_entries = len(entries)
+            window_at = vplan.window_at if vplan is not None else None
+            index = 0
+            while index < num_entries:
+                phase, steps = entries[index]
                 if phase is not None:
+                    if window_at is not None:
+                        window = window_at.get(index)
+                        if window is not None:
+                            accepted, now = self._run_window(
+                                window, phase_quote_batch, now,
+                                outstanding, fill_time_of, mlp,
+                                issue_interval)
+                            if accepted:
+                                # The accepted prefix is served and
+                                # applied; the remaining entries of the
+                                # window (and everything after) drop
+                                # down the per-phase ladder unchanged.
+                                index += accepted
+                                continue
                     horizon = now
                     if outstanding:
                         peak = max(outstanding)
@@ -163,59 +231,123 @@ class AxcCore:
                                          issue_interval)
                     if quoted is not None:
                         load_lat, store_lat = quoted
-                        # Retire fills that have arrived — exactly what
-                        # the per-op path's next access would do first —
-                        # then express the surviving entry state
-                        # relative to the clock.  Every simulator time
-                        # is dyadic, so relative replay + rebase is
-                        # bit-identical to absolute replay, and the
-                        # timeline cache hits whenever this phase was
-                        # ever entered with the same relative state.
-                        while outstanding and outstanding[0] <= now:
-                            heappop(outstanding)
-                        rel_heap = tuple(sorted(
-                            completion - now
-                            for completion in outstanding))
-                        rel_fills = ()
-                        if fill_time_of:
-                            # Only pending fills of the phase's own
-                            # lines can merge; older entries (<= now)
-                            # can never beat a future completion.
-                            pending = fill_time_of.get
-                            items = None
-                            for info in phase.block_info:
-                                fill = pending(info[0])
-                                if fill is not None and fill > now:
-                                    if items is None:
-                                        items = []
-                                    items.append((info[0], fill - now,
-                                                  info[5], info[6]))
-                            if items is not None:
-                                rel_fills = tuple(items)
-                        timeline = phase.timeline(
-                            load_lat, store_lat, mlp, issue_interval,
-                            rel_heap, rel_fills)
-                        if timeline.mlp_stall:
-                            self._add_mlp_stall(timeline.mlp_stall)
-                        if timeline.mshr_merges:
-                            self._add_mshr_merge(timeline.mshr_merges)
-                        for block, rel in timeline.fill_residue:
-                            fill_time_of[block] = now + rel
-                        # Entries at or below the exit clock would be
-                        # drained before they could ever matter, so the
-                        # pruned exit heap (sorted ascending — a valid
-                        # heap) replaces the live one wholesale.
-                        outstanding[:] = [
-                            now + rel for rel in timeline.exit_heap]
-                        now += timeline.cycles
+                        now = self._apply_phase_timeline(
+                            phase, load_lat, store_lat, now,
+                            outstanding, fill_time_of, mlp,
+                            issue_interval)
+                        index += 1
                         continue
                 now = self._interpret(
                     steps, now, outstanding, fill_time_of, access_fn,
                     run_fn, mlp, issue_interval)
+                index += 1
         if outstanding:
             now = max(now, max(outstanding))
         self._record(lowered, now - start_time, charge_invocation)
         return now
+
+    def _apply_phase_timeline(self, phase, load_lat, store_lat, now,
+                              outstanding, fill_time_of, mlp, interval):
+        """Apply one accepted phase's cached timeline; returns ``now``.
+
+        Retire fills that have arrived — exactly what the per-op path's
+        next access would do first — then express the surviving entry
+        state relative to the clock.  Every simulator time is dyadic,
+        so relative replay + rebase is bit-identical to absolute
+        replay, and the timeline cache hits whenever this phase was
+        ever entered with the same relative state.
+        """
+        heappop = heapq.heappop
+        while outstanding and outstanding[0] <= now:
+            heappop(outstanding)
+        rel_heap = tuple(sorted(
+            completion - now for completion in outstanding))
+        rel_fills = ()
+        if fill_time_of:
+            # Only pending fills of the phase's own lines can merge;
+            # older entries (<= now) can never beat a future completion.
+            pending = fill_time_of.get
+            items = None
+            for info in phase.block_info:
+                fill = pending(info[0])
+                if fill is not None and fill > now:
+                    if items is None:
+                        items = []
+                    items.append((info[0], fill - now,
+                                  info[5], info[6]))
+            if items is not None:
+                rel_fills = tuple(items)
+        timeline = phase.timeline(load_lat, store_lat, mlp, interval,
+                                  rel_heap, rel_fills)
+        if timeline.mlp_stall:
+            self._add_mlp_stall(timeline.mlp_stall)
+        if timeline.mshr_merges:
+            self._add_mshr_merge(timeline.mshr_merges)
+        for block, rel in timeline.fill_residue:
+            fill_time_of[block] = now + rel
+        # Entries at or below the exit clock would be drained before
+        # they could ever matter, so the pruned exit heap (sorted
+        # ascending — a valid heap) replaces the live one wholesale.
+        outstanding[:] = [now + rel for rel in timeline.exit_heap]
+        return now + timeline.cycles
+
+    def _run_window(self, window, batch_fn, now, outstanding,
+                    fill_time_of, mlp, interval):
+        """Offer a whole phase window to the batched quote; returns
+        ``(accepted_phases, now)``.
+
+        On a non-empty accepted prefix the controller has already
+        served and accounted every op of those phases; this applies
+        their cycle timelines.  When every accepted phase is in the
+        stall-free closed-form regime — per-op latency at most the
+        issue interval, entry heap below the MLP limit, no pending
+        fill of any window line — the whole prefix collapses to one
+        array-derived total (``cum_mem_ops * interval + cum_compute``)
+        with the entry heap filtered once against the exit clock:
+        bit-identical to chaining the per-phase closed forms, because
+        each phase's closed form neither stalls, merges, writes fills,
+        nor admits new heap entries, so the conditions persist and the
+        survivors of the chained prunes are exactly the entries beyond
+        the final clock.  Otherwise each accepted phase applies its
+        cached timeline in order, exactly as the per-phase rung would.
+        """
+        horizon = now
+        if outstanding:
+            peak = max(outstanding)
+            if peak > horizon:
+                horizon = peak
+        quoted = batch_fn(window, now, horizon, interval)
+        if quoted is None:
+            return 0, now
+        accepted, load_lat, store_lat = quoted
+        heappop = heapq.heappop
+        while outstanding and outstanding[0] <= now:
+            heappop(outstanding)
+        bulk = len(outstanding) < mlp \
+            and (not window.cum_loads[accepted] or load_lat <= interval) \
+            and (not window.cum_stores[accepted]
+                 or store_lat <= interval)
+        if bulk and fill_time_of:
+            pending = fill_time_of.get
+            row_blocks = window.row_blocks
+            for i in range(window.row_start[accepted]):
+                fill = pending(row_blocks[i])
+                if fill is not None and fill > now:
+                    bulk = False
+                    break
+        if bulk:
+            now += window.prefix_cycles(accepted, interval)
+            if outstanding:
+                outstanding[:] = sorted(
+                    completion for completion in outstanding
+                    if completion > now)
+        else:
+            phases = window.phases
+            for j in range(accepted):
+                now = self._apply_phase_timeline(
+                    phases[j], load_lat, store_lat, now, outstanding,
+                    fill_time_of, mlp, interval)
+        return accepted, now
 
     def _interpret(self, steps, now, outstanding, fill_time_of,
                    access_fn, run_fn, mlp, issue_interval):

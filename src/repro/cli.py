@@ -179,6 +179,7 @@ def _cmd_config(_args):
 _PROFILE_PHASES = (
     ("lowering", ("workloads/lowering",)),
     ("phases", ("workloads/phases",)),
+    ("vector", ("workloads/vector",)),
     ("replay", ("accel/replay",)),
     ("protocol", ("coherence/", "mem/", "interconnect/", "host/",
                   "energy/")),
@@ -202,8 +203,9 @@ def _profile_phase_of(filename):
 
 def _print_phase_breakdown(stats):
     """Aggregate a :class:`pstats.Stats` by pipeline phase (tottime)."""
-    totals = {"lowering": 0.0, "phases": 0.0, "replay": 0.0,
-              "protocol": 0.0, "engine": 0.0, "other": 0.0}
+    totals = {"lowering": 0.0, "phases": 0.0, "vector": 0.0,
+              "replay": 0.0, "protocol": 0.0, "engine": 0.0,
+              "other": 0.0}
     calls = dict.fromkeys(totals, 0)
     for (filename, _line, _name), entry in stats.stats.items():
         _cc, nc, tt, _ct, _callers = entry
@@ -212,8 +214,8 @@ def _print_phase_breakdown(stats):
         calls[phase] += nc
     overall = sum(totals.values())
     print("phase breakdown (tottime):")
-    for phase in ("lowering", "phases", "replay", "protocol", "engine",
-                  "other"):
+    for phase in ("lowering", "phases", "vector", "replay", "protocol",
+                  "engine", "other"):
         share = totals[phase] / overall if overall else 0.0
         print("  {:<9} {:>8.3f}s  {:>5.1f}%  {:>12,} calls".format(
             phase, totals[phase], 100.0 * share, calls[phase]))
@@ -294,6 +296,14 @@ def _cmd_cache(args):
     phase_entries, phase_windows = cache.phase_stats()
     print("phase entries  : {} compiled plan(s), {} phase window(s)".format(
         phase_entries, phase_windows))
+    vector_entries, vector_windows = cache.vector_stats()
+    print("vector entries : {} SoA plan(s), {} vector window(s)".format(
+        vector_entries, vector_windows))
+    stale_entries, stale_bytes = cache.stale_schema_stats()
+    if stale_entries:
+        print("stale schema   : {} old-schema entrie(s) ({:.1f} kB; "
+              "'cache clear' reaps them)".format(
+                  stale_entries, stale_bytes / 1024.0))
     session = engine.load_session_stats()
     replay = _replay_telemetry(session)
     probes = replay.get("hits", 0) + replay.get("misses", 0)

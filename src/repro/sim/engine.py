@@ -74,7 +74,13 @@ from .results import FailedResult
 
 #: Bump when the cache entry layout (not the simulated models — those
 #: are covered by :func:`code_fingerprint`) changes incompatibly.
-CACHE_SCHEMA_VERSION = 1
+#: Version 2: prepared-trace pickles carry structure-of-arrays vector
+#: plans (ndarray payloads a v1 reader would not expect).  Entries
+#: live under ``<root>/v<schema>/``, so old-schema entries are never
+#: *read* after a bump — they sit in their own directory, counted by
+#: :meth:`DiskCache.stale_schema_stats` and reaped by
+#: :meth:`DiskCache.clear`.
+CACHE_SCHEMA_VERSION = 2
 
 _TRUTHY = ("1", "true", "yes", "on")
 _FALSY = ("", "0", "false", "no", "off")
@@ -536,9 +542,38 @@ class DiskCache:
         if root.is_dir():
             yield from root.rglob(".tmp-*")
 
+    def _iter_stale_schema_dirs(self):
+        """Version directories left behind by older cache schemas.
+
+        The layout keys every entry under ``<root>/v<schema>/``, so a
+        schema bump *orphans* the previous version's tree rather than
+        leaving incompatible pickles where a new reader would trip on
+        them: old entries are never read again, only counted
+        (:meth:`stale_schema_stats`) and reaped (:meth:`clear`).
+        """
+        root = self.root
+        current = self._entry_dir().name
+        if not root.is_dir():
+            return
+        for path in sorted(root.iterdir()):
+            if path.is_dir() and path.name != current \
+                    and path.name.startswith("v") \
+                    and path.name[1:].isdigit():
+                yield path
+
+    def stale_schema_stats(self):
+        """Return ``(entries, total_bytes)`` across old-schema dirs."""
+        entries, total = 0, 0
+        for stale_dir in self._iter_stale_schema_dirs():
+            count, size = self._tally(stale_dir)
+            entries += count
+            total += size
+        return entries, total
+
     def clear(self):
-        """Delete every on-disk entry (results *and* prepared traces)
-        plus any orphaned ``.tmp-*`` files; returns the number removed.
+        """Delete every on-disk entry (results *and* prepared traces),
+        any orphaned ``.tmp-*`` files and any old-schema version
+        directories; returns the number of entries removed.
 
         Holds the advisory lock *exclusive*, so concurrent writers
         (pool workers mid-``store()``) finish their atomic rename
@@ -555,6 +590,27 @@ class DiskCache:
                         removed += 1
                     except OSError:
                         pass
+            for stale_dir in self._iter_stale_schema_dirs():
+                for path in sorted(stale_dir.rglob("*.pkl")):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+                # Remove the emptied version tree itself (leaves of the
+                # rglob walk first); non-empty leftovers are harmless.
+                for sub in sorted(stale_dir.rglob("*"), reverse=True):
+                    try:
+                        if sub.is_dir():
+                            sub.rmdir()
+                        else:
+                            sub.unlink()
+                    except OSError:
+                        pass
+                try:
+                    stale_dir.rmdir()
+                except OSError:
+                    pass
             for path in sorted(self._iter_temp_files()):
                 try:
                     path.unlink()
@@ -616,6 +672,38 @@ class DiskCache:
                 plan_entries += entries
                 phases += windows
         return plan_entries, phases
+
+    def vector_stats(self):
+        """Return ``(plan_entries, windows)`` for SoA vector plans.
+
+        The vector-rung analogue of :meth:`phase_stats`: tallies the
+        structure-of-arrays plans memoised on prepared-workload traces
+        (``_vector_plans``), counting memoised plan variants and the
+        distinct compiled :class:`~repro.workloads.vector.VectorWindow`
+        objects inside them.  Zero on a numpy-less install (the plans
+        are never built there).
+        """
+        from ..workloads.vector import vector_summary
+
+        workloads = {}
+        for index_key, workload in self._index.items():
+            if index_key[1] == "trace":
+                workloads[index_key[2]] = workload
+        trace_dir = self._trace_dir()
+        if trace_dir.is_dir():
+            for path in sorted(trace_dir.rglob("*.pkl")):
+                if path.stem in workloads:
+                    continue
+                workload = self._read_pickle(path)
+                if workload is not None:
+                    workloads[path.stem] = workload
+        plan_entries, windows = 0, 0
+        for workload in workloads.values():
+            for trace in workload.invocations:
+                entries, count = vector_summary(trace)
+                plan_entries += entries
+                windows += count
+        return plan_entries, windows
 
     def temp_stats(self):
         """Return ``(count, total_bytes)`` for orphaned ``.tmp-*`` files.

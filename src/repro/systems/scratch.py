@@ -60,6 +60,7 @@ class ScratchSystem(BaseSystem):
                            charge_invocation=(window_index == 0),
                            access_run=model.access_run,
                            phase_quote=model.phase_quote,
+                           phase_quote_batch=model.phase_quote_batch,
                            leased_phases=False)
             dirty = scratchpad.drain()
             now += self.dma.transfer_out(dirty, now)

@@ -41,4 +41,5 @@ class SharedSystem(BaseSystem):
                         issue_interval=ISSUE_INTERVAL,
                         access_run=self.l1x.access_run,
                         phase_quote=self.l1x.phase_quote,
+                        phase_quote_batch=self.l1x.phase_quote_batch,
                         leased_phases=False)

@@ -184,14 +184,14 @@ def test_profile_phase_breakdown(fresh_engine, capsys):
                  "--phase", "--top", "5"]) == 0
     out = capsys.readouterr().out
     assert "phase breakdown (tottime):" in out
-    for phase in ("lowering", "phases", "replay", "protocol", "engine",
-                  "other"):
+    for phase in ("lowering", "phases", "vector", "replay", "protocol",
+                  "engine", "other"):
         assert phase in out
     # The simulation hot path spends real time in the protocol and
     # engine layers; the shares are percentages that sum to ~100.
     shares = [float(line.split("%")[0].split()[-1])
               for line in out.splitlines() if "%" in line and "s " in line]
-    assert len(shares) == 6
+    assert len(shares) == 7
     assert abs(sum(shares) - 100.0) < 0.5
 
 
@@ -234,6 +234,25 @@ def test_cache_stats_reports_orphaned_temp_files(fresh_engine, capsys):
     capsys.readouterr()
     assert main(["cache", "stats"]) == 0
     assert "temp files     : 0" in capsys.readouterr().out
+
+
+def test_cache_stats_reports_stale_schema_entries(fresh_engine, capsys):
+    import pickle
+    from repro.sim.engine import get_engine
+    assert main(["run", "FUSION", "adpcm", "--size", "tiny"]) == 0
+    stale = get_engine().cache.root / "v1" / "aa"
+    stale.mkdir(parents=True, exist_ok=True)
+    (stale / ("aa" + "0" * 62 + ".pkl")).write_bytes(
+        pickle.dumps("old-schema entry"))
+    capsys.readouterr()
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "stale schema   : 1 old-schema entrie(s)" in out
+    assert "vector entries :" in out
+    assert main(["cache", "clear"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats"]) == 0
+    assert "stale schema" not in capsys.readouterr().out
 
 
 def test_check_single_scenario(capsys):

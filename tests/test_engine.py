@@ -417,3 +417,86 @@ def test_clear_cache_clears_workload_registry():
     clear_cache()
     after = build_workload("adpcm", "tiny")
     assert after is not before
+
+
+# -- cache schema migration (v1 -> v2) --------------------------------------
+
+def _plant_stale_schema(root, entries=2):
+    """Drop pickles into an old-schema version dir, the way a pre-bump
+    process left them (results under ``v1/<aa>/`` plus one prepared
+    trace under ``v1/traces/<aa>/``)."""
+    import pickle as pkl
+    stale = root / "v1"
+    written = []
+    for index in range(entries):
+        sub = stale / ("a%d" % index)
+        sub.mkdir(parents=True, exist_ok=True)
+        path = sub / ("a%d" % index + "0" * 62 + ".pkl")
+        path.write_bytes(pkl.dumps({"old-schema": index}))
+        written.append(path)
+    tdir = stale / "traces" / "bb"
+    tdir.mkdir(parents=True, exist_ok=True)
+    tpath = tdir / ("bb" + "0" * 62 + ".pkl")
+    tpath.write_bytes(pkl.dumps("old prepared trace"))
+    written.append(tpath)
+    return written
+
+
+def test_entries_live_under_versioned_dir(engine):
+    engine.run_batch(_batch("FUSION"))
+    current = "v{}".format(CACHE_SCHEMA_VERSION)
+    pkls = list(engine.cache.root.rglob("*.pkl"))
+    assert pkls
+    assert all(current in path.parts for path in pkls)
+
+
+def test_stale_schema_entries_are_never_read(engine):
+    """Old-schema pickles sit in their own tree: a run over a root
+    holding only v1 entries recomputes (no torn reads, no corrupt
+    drops) and writes fresh entries under the current dir."""
+    _plant_stale_schema(engine.cache.root)
+    [result] = engine.run_batch(_batch("FUSION"))
+    assert engine.telemetry.computed == 1
+    assert engine.telemetry.disk_hits == 0
+    assert engine.cache.corrupt_drops == 0
+    assert result.accel_cycles > 0
+    # The stale tree is untouched by normal operation.
+    assert len(list((engine.cache.root / "v1").rglob("*.pkl"))) == 3
+
+
+def test_stale_schema_stats_counts_old_entries(engine):
+    assert engine.cache.stale_schema_stats() == (0, 0)
+    _plant_stale_schema(engine.cache.root)
+    engine.run_batch(_batch("FUSION"))
+    entries, total_bytes = engine.cache.stale_schema_stats()
+    assert entries == 3 and total_bytes > 0
+    # Current-schema tallies exclude the stale tree.
+    assert engine.cache.disk_stats()[0] == 1
+    assert engine.cache.trace_stats()[0] == 1
+
+
+def test_clear_reaps_stale_schema_dirs(engine):
+    _plant_stale_schema(engine.cache.root)
+    engine.run_batch(_batch("FUSION"))
+    # 1 result + 1 prepared trace (current) + 3 stale entries.
+    assert engine.cache.clear() == 5
+    assert engine.cache.stale_schema_stats() == (0, 0)
+    assert not (engine.cache.root / "v1").exists()
+    assert engine.cache.disk_stats() == (0, 0)
+
+
+def test_vector_stats_counts_soa_plans(engine):
+    from repro.workloads.vector import HAVE_NUMPY
+    assert engine.cache.vector_stats() == (0, 0)
+    engine.jobs = 1  # serial, so prepared traces land on engine.cache
+    engine.run_batch(_batch("FUSION"))
+    plan_entries, windows = engine.cache.vector_stats()
+    if HAVE_NUMPY:
+        assert plan_entries > 0
+    else:
+        assert (plan_entries, windows) == (0, 0)
+
+    # A fresh cache over the same root sees the plans ride the
+    # prepared-trace pickles from disk.
+    fresh = DiskCache(engine.cache.root)
+    assert fresh.vector_stats() == (plan_entries, windows)

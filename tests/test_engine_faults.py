@@ -14,6 +14,7 @@ import pytest
 from repro.common.errors import ConfigError, RunTimeout
 from repro.sim import faults
 from repro.sim.engine import (
+    CACHE_SCHEMA_VERSION,
     DiskCache,
     EngineJournal,
     ExecutionEngine,
@@ -253,7 +254,8 @@ def test_failed_result_is_a_structured_hole():
 
 def test_clear_sweeps_orphaned_temp_files(engine, enable_cache):
     engine.run_batch([RunRequest("FUSION", "adpcm", "tiny")])
-    orphan_dir = engine.cache.root / "v1" / "ab"
+    orphan_dir = engine.cache.root \
+        / "v{}".format(CACHE_SCHEMA_VERSION) / "ab"
     orphan_dir.mkdir(parents=True, exist_ok=True)
     (orphan_dir / ".tmp-dead-writer").write_bytes(b"x" * 128)
     count, total = engine.cache.temp_stats()
