@@ -1,0 +1,32 @@
+"""Policy-engine headline: per-invocation strategy selection vs the
+best static coherence design.
+
+The acceptance claims, checked at every size:
+
+* the oracle never loses to the best static system on any kernel
+  (guaranteed by construction — the uniform runs are oracle
+  candidates — so a violation means the evaluator broke);
+* the trained bandit closes at least half the static-to-oracle gap on
+  at least two kernels (on kernels where the gap is zero, matching the
+  best static counts as closed — there was nothing to learn).
+"""
+
+from repro.sim.experiments import policy_gap
+
+
+def test_policy_gap(benchmark, report, size):
+    table = benchmark.pedantic(policy_gap, kwargs={"size": size},
+                               rounds=1, iterations=1)
+    report(table)
+    rows = {row[0]: [float(cell) for cell in row[2:]]
+            for row in table.rows}
+    assert rows
+
+    for name, (best, oracle, bandit, _gain, _closed) in rows.items():
+        assert oracle <= best, \
+            "oracle worse than best static on {}".format(name)
+        assert bandit > 0
+
+    closed_half = [name for name, row in rows.items() if row[4] >= 50.0]
+    assert len(closed_half) >= 2, \
+        "bandit closed >=50% of the gap only on {}".format(closed_half)

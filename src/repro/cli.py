@@ -28,6 +28,7 @@ import sys
 
 from .common.config import small_config
 from .common.config_io import load_config
+from .common.errors import ConfigError
 from .energy.area import area_table, tile_area
 from .sim import charts, export
 from .sim import engine as engine_mod
@@ -181,6 +182,7 @@ _PROFILE_PHASES = (
     ("phases", ("workloads/phases",)),
     ("vector", ("workloads/vector",)),
     ("replay", ("accel/replay",)),
+    ("policy", ("policy/",)),
     ("protocol", ("coherence/", "mem/", "interconnect/", "host/",
                   "energy/")),
     ("engine", ("accel/", "systems/", "sim/", "common/")),
@@ -204,8 +206,8 @@ def _profile_phase_of(filename):
 def _print_phase_breakdown(stats):
     """Aggregate a :class:`pstats.Stats` by pipeline phase (tottime)."""
     totals = {"lowering": 0.0, "phases": 0.0, "vector": 0.0,
-              "replay": 0.0, "protocol": 0.0, "engine": 0.0,
-              "other": 0.0}
+              "replay": 0.0, "policy": 0.0, "protocol": 0.0,
+              "engine": 0.0, "other": 0.0}
     calls = dict.fromkeys(totals, 0)
     for (filename, _line, _name), entry in stats.stats.items():
         _cc, nc, tt, _ct, _callers = entry
@@ -214,8 +216,8 @@ def _print_phase_breakdown(stats):
         calls[phase] += nc
     overall = sum(totals.values())
     print("phase breakdown (tottime):")
-    for phase in ("lowering", "phases", "vector", "replay", "protocol",
-                  "engine", "other"):
+    for phase in ("lowering", "phases", "vector", "replay", "policy",
+                  "protocol", "engine", "other"):
         share = totals[phase] / overall if overall else 0.0
         print("  {:<9} {:>8.3f}s  {:>5.1f}%  {:>12,} calls".format(
             phase, totals[phase], 100.0 * share, calls[phase]))
@@ -564,6 +566,42 @@ def _fetch_table(payload):
     return table
 
 
+def _cmd_sweep(args):
+    """Run a design-space sweep in-process (no daemon needed).
+
+    ``--axis KIND=V1,V2`` adds a config axis (lease / l0x_kb / l1x_kb,
+    as in ``submit``); ``--policy SPEC1,SPEC2`` sweeps policy selectors
+    (``static:fusion``, ``static:fusion:lease=250``, ``bandit``,
+    ``bandit:0.2``, ``ucb:1.5``) on the POLICY system.
+    """
+    from .sim.jobs import AXIS_KINDS
+    from .sim.sweep import policy_axis, sweep
+    axes = []
+    for axis in args.axis or ():
+        kind, _, values = axis.partition("=")
+        kind = kind.strip()
+        if kind not in AXIS_KINDS:
+            raise ConfigError(
+                "unknown axis kind {!r}; expected one of {}".format(
+                    kind, ", ".join(sorted(AXIS_KINDS))))
+        axes.append(AXIS_KINDS[kind](
+            *[int(v) for v in values.split(",") if v.strip()]))
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    if args.policy:
+        specs = [s.strip() for s in args.policy.split(",") if s.strip()]
+        axes.append(policy_axis(*specs))
+        systems = ["POLICY"]
+    benchmarks = [b.strip() for b in args.benchmarks.split(",")
+                  if b.strip()]
+    table, _results = sweep(
+        systems=systems, benchmarks=benchmarks, axes=axes,
+        metrics=[m.strip() for m in args.metrics.split(",")
+                 if m.strip()],
+        size=args.size, strict=not args.keep_going)
+    print(_render(table, args.format))
+    return 0
+
+
 def _cmd_submit(args):
     spec = {
         "systems": args.systems.split(","),
@@ -687,6 +725,33 @@ def build_parser():
     exp_p.add_argument("--format", default="text",
                        choices=("text", "csv", "json"))
     exp_p.set_defaults(func=_cmd_experiment)
+
+    swp_p = sub.add_parser("sweep",
+                           help="run a design-space sweep in-process")
+    swp_p.add_argument("--systems", default="FUSION",
+                       help="comma-separated system names "
+                            "(default: FUSION)")
+    swp_p.add_argument("--benchmarks", default=",".join(BENCHMARKS),
+                       help="comma-separated benchmarks (default: all)")
+    swp_p.add_argument("--size", default="small",
+                       choices=("full", "small", "tiny"))
+    swp_p.add_argument("--axis", action="append", metavar="KIND=V1,V2",
+                       help="config axis: lease, l0x_kb or l1x_kb "
+                            "(repeatable)")
+    swp_p.add_argument("--policy", default=None, metavar="SPECS",
+                       help="sweep policy selectors on the POLICY "
+                            "system: comma-separated specs like "
+                            "static:fusion, static:fusion:lease=250, "
+                            "bandit, bandit:0.2, ucb:1.5")
+    swp_p.add_argument("--metrics", default="accel_cycles,energy_uj",
+                       help="comma-separated metrics "
+                            "(see repro.sim.sweep.METRICS)")
+    swp_p.add_argument("--keep-going", action="store_true",
+                       help="render FAILED holes instead of aborting "
+                            "on the first failed point")
+    swp_p.add_argument("--format", default="text",
+                       choices=("text", "csv", "json"))
+    swp_p.set_defaults(func=_cmd_sweep)
 
     cmp_p = sub.add_parser("compare",
                            help="all systems + IDEAL bound on one "

@@ -66,6 +66,36 @@ class AdaptiveLeasePolicy:
         self.wasted_leases += 1
 
 
+class CountingLeasePolicy:
+    """Transparent decorator counting lease events into a shared dict.
+
+    The policy engine's telemetry needs per-invocation lease-expiry and
+    wasted-lease counts, but the golden grids pin the *complete* stats
+    dicts of the legacy systems, so the ACC controllers themselves may
+    not grow new counters.  Wrapping each L0X's ``lease_policy`` in this
+    decorator (policy runs only) observes the events without touching
+    lease arithmetic: ``lease_for`` and the adjustment hooks delegate
+    unchanged to the inner policy.
+    """
+
+    def __init__(self, inner, counts=None):
+        self.inner = inner
+        self.counts = counts if counts is not None else {
+            "renewal_misses": 0, "wasted_leases": 0}
+        self.name = inner.name
+
+    def lease_for(self, set_index, default_lease):
+        return self.inner.lease_for(set_index, default_lease)
+
+    def on_renewal_miss(self, set_index):
+        self.counts["renewal_misses"] += 1
+        self.inner.on_renewal_miss(set_index)
+
+    def on_wasted_lease(self, set_index):
+        self.counts["wasted_leases"] += 1
+        self.inner.on_wasted_lease(set_index)
+
+
 def make_policy(name, num_sets):
     """Factory used by the tile: ``"fixed"`` or ``"adaptive"``."""
     if name == "fixed":

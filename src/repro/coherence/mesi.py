@@ -339,6 +339,12 @@ class HostMemorySystem:
         block = block_address(pblock)
         latency = self._l2_access(block)
         latency += self._ensure_l2(block, now)
+        # Recall copies cached by accelerator tile agents so the DMA
+        # stream observes their dirty data.  Legacy SCRATCH runs never
+        # register a tile agent, so this is a no-op there; it matters
+        # when a policy run mixes scratchpad-DMA invocations with
+        # cache-based strategies on the same footprint.
+        latency += self._forward_to_all_tiles(block, now, is_store=False)
         entry = self.directory.entry(block)
         if entry.cached_by(HOST):
             host_line = self.l1.lookup(block, touch=False)
@@ -360,6 +366,9 @@ class HostMemorySystem:
         self._send_dma_wb_data()
         latency = self._l2_access(block, is_store=True)
         latency += self._ensure_l2(block, now)
+        # Invalidate tile-agent copies before the DMA store lands (see
+        # dma_read; a no-op unless cache strategies share the run).
+        latency += self._forward_to_all_tiles(block, now, is_store=True)
         entry = self.directory.entry(block)
         if entry.cached_by(HOST):
             self.struct_version += 1

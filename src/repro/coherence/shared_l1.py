@@ -16,6 +16,7 @@ from ..energy import cacti
 from ..mem.banking import BankContention
 from ..mem.cache import SetAssocCache
 from ..workloads import vector as vector_windows
+from .directory import TILE
 from .messages import Msg, counter_pairs as msg_counter_pairs, send
 
 #: AXC -> shared L1X switch traversal, one way, cycles.
@@ -35,10 +36,14 @@ ISSUE_INTERVAL = 1.5
 class SharedL1XController:
     """A MESI-participating shared L1X with no private caches below it."""
 
-    def __init__(self, config, host_mem, page_table, stats):
+    def __init__(self, config, host_mem, page_table, stats,
+                 agent_name=TILE):
         self.config = config.tile.l1x
         self.host = host_mem
         self.page_table = page_table
+        #: Host-directory agent name; distinct per tile when several
+        #: coherence strategies coexist in one run.
+        self.agent_name = agent_name
         self.stats = stats.scope("l1x")
         self.cache = SetAssocCache(self.config, name="shared_l1x")
         self.banks = (BankContention(self.config.banks, occupancy=1,
@@ -381,12 +386,13 @@ class SharedL1XController:
 
     def _fill(self, pblock, now):
         """Fill ``pblock`` from the host; returns ``(latency, line)``."""
-        latency = self.host.fetch_for_tile(pblock, now)
+        latency = self.host.fetch_for_tile(pblock, now,
+                                           tile=self.agent_name)
         line, victim = self.cache.install(pblock, state="E", paddr=pblock)
         if victim is not None:
             self._charge(is_store=False)
             latency += self.host.tile_writeback(victim.paddr, victim.dirty,
-                                                now)
+                                                now, tile=self.agent_name)
             self.stats.add("evictions")
         return latency, line
 
@@ -414,7 +420,8 @@ class SharedL1XController:
         for line in list(self.cache.dirty_lines()):
             self._charge(is_store=False)
             latency += self.host.tile_writeback(line.paddr, dirty=True,
-                                                now=now)
+                                                now=now,
+                                                tile=self.agent_name)
             self.cache.invalidate(line.block)
             self.stats.add("flush_writebacks")
         return latency

@@ -8,6 +8,7 @@ from .config import (
     DramConfig,
     HostConfig,
     LinkEnergyConfig,
+    PolicyConfig,
     ScratchpadConfig,
     SystemConfig,
     WritePolicy,
@@ -47,7 +48,8 @@ from .units import (
 __all__ = [
     "config_io",
     "AcceleratorTileConfig", "CacheConfig", "DmaConfig", "DramConfig",
-    "HostConfig", "LinkEnergyConfig", "ScratchpadConfig", "SystemConfig",
+    "HostConfig", "LinkEnergyConfig", "PolicyConfig", "ScratchpadConfig",
+    "SystemConfig",
     "WritePolicy", "large_config", "small_config",
     "ConfigError", "ProtocolError", "ReproError", "SimulationError",
     "TraceError", "TranslationError",

@@ -180,6 +180,65 @@ class AcceleratorTileConfig:
 
 
 @dataclass(frozen=True)
+class PolicyConfig:
+    """The per-invocation coherence policy engine (POLICY system).
+
+    ``selector`` names how the strategy is chosen each invocation:
+
+    * ``"static"`` — always ``static_strategy`` (bit-identical to the
+      corresponding legacy system; gated by the golden grids);
+    * ``"schedule"`` — invocation ``i`` runs ``schedule[i]`` (clamped to
+      the last entry); this is the oracle evaluator's vehicle;
+    * ``"bandit"`` — epsilon-greedy contextual bandit over
+      ``strategies`` fed by invocation telemetry;
+    * ``"ucb"`` — the same bandit with a UCB exploration bonus
+      (``ucb_c``) instead of epsilon randomness.
+    """
+
+    selector: str = "static"
+    #: Strategy key used by the static selector.
+    static_strategy: str = "fusion"
+    #: Per-invocation strategy keys for the schedule selector.
+    schedule: tuple = ()
+    #: Candidate arms for the learning selectors.
+    strategies: tuple = ("scratch", "shared", "fusion", "fusion-dx")
+    #: Epsilon-greedy exploration rate (bandit selector).
+    epsilon: float = 0.1
+    #: UCB exploration weight (ucb selector).
+    ucb_c: float = 1.0
+    #: Seed for the bandit's explicit RNG — policy runs must stay
+    #: deterministic under --jobs.
+    seed: int = 20150613
+    #: Training passes for in-process bandit training; with untried-
+    #: first exploration each arm needs one pass before greedy pays.
+    episodes: int = 5
+    #: Always record InvocationTelemetry (learning selectors record
+    #: regardless; this forces it for static/schedule runs).
+    record_telemetry: bool = False
+
+    def __post_init__(self):
+        # JSON overrides hand sequences in as lists; keep the frozen
+        # config hashable and its fingerprint canonical.
+        object.__setattr__(self, "schedule", tuple(self.schedule))
+        object.__setattr__(self, "strategies", tuple(self.strategies))
+        if self.selector not in ("static", "schedule", "bandit", "ucb"):
+            raise ConfigError(
+                "unknown policy selector {!r}".format(self.selector))
+        if self.selector == "schedule" and not self.schedule:
+            raise ConfigError("schedule selector needs a schedule")
+        if not self.strategies:
+            raise ConfigError("policy needs at least one strategy")
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ConfigError(
+                "epsilon {!r} outside [0, 1]".format(self.epsilon))
+        if self.ucb_c < 0:
+            raise ConfigError("negative ucb_c {!r}".format(self.ucb_c))
+        if self.episodes < 1:
+            raise ConfigError(
+                "episodes {!r} must be >= 1".format(self.episodes))
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Complete configuration of one simulated system (Table 2)."""
 
@@ -189,6 +248,7 @@ class SystemConfig:
     dram: DramConfig = field(default_factory=DramConfig)
     dma: DmaConfig = field(default_factory=DmaConfig)
     link: LinkEnergyConfig = field(default_factory=LinkEnergyConfig)
+    policy: PolicyConfig = field(default_factory=PolicyConfig)
 
     def with_l0x_write_policy(self, policy):
         """Return a copy with the L0X write policy replaced (Table 4)."""
@@ -207,6 +267,11 @@ class SystemConfig:
         ("fixed" or "adaptive")."""
         return replace(self, tile=replace(self.tile,
                                           lease_policy=policy_name))
+
+    def with_policy(self, **kwargs):
+        """Return a copy with :class:`PolicyConfig` fields replaced,
+        e.g. ``config.with_policy(selector="bandit", epsilon=0.2)``."""
+        return replace(self, policy=replace(self.policy, **kwargs))
 
 
 def stable_config_dict(obj):

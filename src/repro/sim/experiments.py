@@ -69,6 +69,12 @@ def _grid_figure7(size, benchmarks=BENCHMARKS):
             for config in (small_config(), large_config())]
 
 
+def _grid_policy(size, benchmarks=BENCHMARKS):
+    # Lazy import: repro.policy imports this module's engine pathway.
+    from ..policy.engine import policy_grid
+    return policy_grid(size, benchmarks)
+
+
 #: Simulation grid of each experiment that runs the simulator (table1
 #: only characterises traces; table2 echoes the config).
 EXPERIMENT_GRIDS = {
@@ -82,6 +88,7 @@ EXPERIMENT_GRIDS = {
     "fig6d": _grid_scratch,
     "fig7": _grid_figure7,
     "headline": _grid_figure6,
+    "policy": _grid_policy,
 }
 
 
@@ -394,6 +401,44 @@ def headline(size="full"):
 
 
 # ---------------------------------------------------------------------------
+# Policy: per-invocation strategy selection vs the best static system
+# ---------------------------------------------------------------------------
+
+def policy_gap(size="full", benchmarks=BENCHMARKS):
+    """Per-kernel gap between static, oracle and bandit selectors.
+
+    For each kernel: the best static system's accelerated-region
+    cycles, the oracle's (per-invocation argmin over strategies, see
+    :mod:`repro.policy.engine`), the trained bandit's, and the fraction
+    of the static-to-oracle gap the bandit closed.
+    """
+    from ..policy.engine import (evaluate_selectors, gap_closed,
+                                 train_bandit)
+    table = ExperimentTable(
+        "Policy", "Per-invocation coherence policy vs best static",
+        ["Benchmark", "Best static", "Static cyc", "Oracle cyc",
+         "Bandit cyc", "Oracle gain%", "Gap closed%"])
+    _prefetch(_grid_policy(size, benchmarks))
+    for name in benchmarks:
+        report = evaluate_selectors(name, size)
+        trained = train_bandit(name, size)
+        best = report["best_static"]
+        oracle = report["oracle"]
+        bandit = trained["cycles"]
+        gain = 100.0 * (best - oracle) / best if best else 0.0
+        closed = 100.0 * gap_closed(best, oracle, bandit)
+        table.add_row(LABELS[name], report["best_static_key"], best,
+                      oracle, bandit, gain, closed)
+    table.add_note("Oracle: per-invocation argmin over {scratch, "
+                   "shared, fusion, fusion-dx}, interference "
+                   "re-simulated; <= best static by construction.")
+    table.add_note("Bandit: epsilon-greedy over telemetry contexts "
+                   "(function, reuse bucket, footprint bucket), "
+                   "trained in-process, greedy evaluation pass.")
+    return table
+
+
+# ---------------------------------------------------------------------------
 # Table 2: configuration echo (not an experiment, a reference)
 # ---------------------------------------------------------------------------
 
@@ -432,5 +477,5 @@ ALL_EXPERIMENTS = {
     "table4": table4, "table5": table5, "table6": table6,
     "fig6a": figure6_energy, "fig6b": figure6_performance,
     "fig6c": figure6_traffic, "fig6d": figure6_dma,
-    "fig7": figure7, "headline": headline,
+    "fig7": figure7, "headline": headline, "policy": policy_gap,
 }

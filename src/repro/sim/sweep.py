@@ -78,6 +78,44 @@ def l1x_axis(*sizes_kb):
         for size in sizes_kb})
 
 
+def _apply_policy_spec(config, spec):
+    """Turn one ``--policy`` spec string into a POLICY config.
+
+    Specs: ``static:KEY`` (KEY is a strategy key, e.g. ``fusion`` or
+    ``fusion:lease=250``), ``bandit`` / ``bandit:EPSILON``, and
+    ``ucb`` / ``ucb:C``.
+    """
+    kind, _, arg = spec.partition(":")
+    if kind == "static":
+        return config.with_policy(selector="static",
+                                  static_strategy=arg or "fusion")
+    if kind == "bandit":
+        kwargs = {"selector": "bandit"}
+        if arg:
+            kwargs["epsilon"] = float(arg)
+        return config.with_policy(**kwargs)
+    if kind == "ucb":
+        kwargs = {"selector": "ucb"}
+        if arg:
+            kwargs["ucb_c"] = float(arg)
+        return config.with_policy(**kwargs)
+    from ..common.errors import ConfigError
+    raise ConfigError(
+        "unknown policy spec {!r}; expected static:KEY, bandit[:eps] "
+        "or ucb[:c]".format(spec))
+
+
+def policy_axis(*specs):
+    """Axis over policy selectors (``static:fusion``, ``bandit``, ...).
+
+    Points run as the POLICY system; combine with
+    ``systems=("POLICY",)``.
+    """
+    return config_axis("policy", {
+        spec: (lambda cfg, value=spec: _apply_policy_spec(cfg, value))
+        for spec in specs})
+
+
 def _grid(axes):
     """Yield (labels_tuple, transforms_tuple) over the axis product."""
     if not axes:

@@ -1,15 +1,18 @@
-"""The four evaluated system designs."""
+"""The four evaluated system designs (plus extensions)."""
 
 from .base import BaseSystem
 from .fusion import FusionSystem
 from .fusion_dx import FusionDxSystem
 from .ideal import IdealSystem
 from .pipelined import PipelinedFusionSystem
+from .policy import PolicySystem
+from .preset import StrategyPresetSystem
 from .scratch import ScratchSystem
 from .shared import SharedSystem
 
 #: Registry keyed by the names used throughout the paper's figures,
-#: plus the analysis/extension systems (IDEAL bound, pipelined tile).
+#: plus the analysis/extension systems (IDEAL bound, pipelined tile,
+#: per-invocation strategy POLICY).
 SYSTEMS = {
     "SCRATCH": ScratchSystem,
     "SHARED": SharedSystem,
@@ -17,8 +20,9 @@ SYSTEMS = {
     "FUSION-Dx": FusionDxSystem,
     "IDEAL": IdealSystem,
     "FUSION-PIPE": PipelinedFusionSystem,
+    "POLICY": PolicySystem,
 }
 
 __all__ = ["BaseSystem", "FusionSystem", "FusionDxSystem", "IdealSystem",
-           "PipelinedFusionSystem", "ScratchSystem", "SharedSystem",
-           "SYSTEMS"]
+           "PipelinedFusionSystem", "PolicySystem", "ScratchSystem",
+           "SharedSystem", "StrategyPresetSystem", "SYSTEMS"]

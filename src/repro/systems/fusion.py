@@ -7,43 +7,25 @@ AX-TLB on the miss path, AX-RMAP for forwarded requests).  The L0X
 captures each function's locality at scratchpad-like cost (Lessons 2-3);
 the L1X captures inter-function sharing without any DMA ping-pong
 (Lesson 1); coherence is maintained without invalidation traffic.
+
+The machinery lives in
+:class:`repro.coherence.strategy.BoundFusionTile`; this class is the
+static preset over it, and FUSION-Dx / FUSION-PIPE subclass it.
 """
 
-from ..accel.replay import AccTileReplayAdapter
-from ..accel.tile import AcceleratorTile
-from ..common.config import WritePolicy
-from .base import BaseSystem
+from .preset import StrategyPresetSystem
 
 
-class FusionSystem(BaseSystem):
+class FusionSystem(StrategyPresetSystem):
     """FUSION (L0X + L1X under ACC)."""
 
     name = "FUSION"
+    strategy_key = "fusion"
 
-    def _build(self):
-        self.tile = AcceleratorTile(
-            self.config, self.host_mem, self.page_table,
-            self.workload.num_axcs, self.stats)
+    def _mirror(self, bound):
+        self.tile = bound.tile
 
     def _forward_plan_for(self, index):
-        """FUSION proper never forwards; FUSION-Dx overrides this."""
-        return None
-
-    def _replay_adapter(self):
-        tile = self.config.tile
-        if (tile.model_bank_conflicts
-                or tile.lease_policy != "fixed"
-                or tile.l0x.write_policy is not WritePolicy.WRITE_BACK):
-            # Bank busy-until times are absolute (not translation
-            # invariant), adaptive leases carry cross-invocation policy
-            # state, and write-through L0X reads L1X write epochs with
-            # no state diff to sign — decline the replay rung.
-            return None
-        return AccTileReplayAdapter(self)
-
-    def _run_invocation(self, index, trace, now):
-        lease = self.config.tile.lease_override or trace.lease_time
-        return self.tile.run_invocation(
-            self._axc_of(trace), trace, now, self._mlp(trace),
-            lease=lease,
-            forward_plan=self._forward_plan_for(index))
+        """Forward plan of invocation ``index`` (None for FUSION proper;
+        the replay adapter keys its recordings on this)."""
+        return self._bound.forward_plan_for(self._strategy, index)

@@ -9,7 +9,6 @@ request, and one L1X read + line response (Table 5's accounting), at
 the price of one L0X->L0X transfer.
 """
 
-from ..workloads.forwarding import forwarding_plan
 from .fusion import FusionSystem
 
 
@@ -17,10 +16,4 @@ class FusionDxSystem(FusionSystem):
     """FUSION with ACC write forwarding enabled."""
 
     name = "FUSION-Dx"
-
-    def _build(self):
-        super()._build()
-        self._plan = forwarding_plan(self.workload)
-
-    def _forward_plan_for(self, index):
-        return self._plan.get(index)
+    strategy_key = "fusion-dx"

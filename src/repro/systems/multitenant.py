@@ -12,15 +12,27 @@ aliasing.
 The sequential programs time-share the tile: their invocation streams
 interleave round-robin, the OS-level context-switch granularity the
 paper's offloading model implies.
+
+Tenants may also run different :class:`CoherenceStrategy` objects on
+one tile (the ``strategies`` argument): fusion-family tenants share the
+PID-tagged tile with per-tenant lease lengths and forwarding plans,
+while scratch/shared tenants bind their own machinery against their own
+page table, registered with the host directory under a per-tenant agent
+name — the DMA recall paths and named-agent forwards keep the mix
+coherent.  (Non-fusion tenant machinery reuses the standard stats
+scopes, so e.g. a shared-L1X tenant's counters merge into ``l1x.*``
+alongside the tile's.)
 """
 
 from ..accel.tile import AcceleratorTile
+from ..coherence.strategy import BindContext, make_strategy
 from ..common.stats import StatsRegistry
 from ..coherence.mesi import HostMemorySystem
 from ..host.core import HostCore
 from ..mem.tlb import PageTable
 from ..sim.results import RunResult
 from ..workloads.characterize import function_mlp
+from ..workloads.forwarding import forwarding_plan
 
 
 class MultiTenantFusionSystem:
@@ -28,7 +40,7 @@ class MultiTenantFusionSystem:
 
     name = "FUSION-MT"
 
-    def __init__(self, config, workloads):
+    def __init__(self, config, workloads, strategies=None):
         if not workloads:
             raise ValueError("at least one workload required")
         self.config = config
@@ -56,6 +68,64 @@ class MultiTenantFusionSystem:
                 self.tile.l0xs[axc].pid = pid
             base += workload.num_axcs
         self._mlp = [function_mlp(w) for w in self.workloads]
+        # Per-tenant coherence strategies (None = every tenant runs the
+        # legacy fusion path, bit-identical to before the handoff).
+        if strategies is None:
+            self._strategies = None
+        else:
+            if len(strategies) != len(self.workloads):
+                raise ValueError(
+                    "{} strategies for {} workloads".format(
+                        len(strategies), len(self.workloads)))
+            self._strategies = [make_strategy(s) for s in strategies]
+        self._tenant_bound = [None] * len(self.workloads)
+        self._tenant_plans = [None] * len(self.workloads)
+        if self._strategies is not None:
+            for pid, strategy in enumerate(self._strategies):
+                if strategy.family == "fusion":
+                    continue
+                # Non-fusion tenants get dedicated machinery bound to
+                # their own page table and a distinct directory agent.
+                ctx = BindContext(
+                    config=config, host_mem=self.host_mem,
+                    page_table=self.page_tables[pid], stats=self.stats,
+                    num_axcs=self.workloads[pid].num_axcs,
+                    workload=self.workloads[pid],
+                    agent_name="tenant{}".format(pid))
+                self._tenant_bound[pid] = strategy.bind(ctx)
+
+    def _tenant_forward_plan(self, pid, local_index):
+        """Per-tenant forwarding plan with consumer AXC ids rebased to
+        the tile's global numbering."""
+        plan = self._tenant_plans[pid]
+        if plan is None:
+            base = self._axc_base[pid]
+            plan = self._tenant_plans[pid] = {
+                index: [(block, consumer + base)
+                        for block, consumer in entries]
+                for index, entries in
+                forwarding_plan(self.workloads[pid]).items()
+            }
+        return plan.get(local_index)
+
+    def _run_tenant_invocation(self, pid, local_index, trace, now, axc,
+                               mlp):
+        """Run one invocation under the tenant's strategy."""
+        if self._strategies is None:
+            return self.tile.run_invocation(axc, trace, now, mlp,
+                                            lease=trace.lease_time)
+        strategy = self._strategies[pid]
+        if strategy.family == "fusion":
+            lease = (strategy.lease if strategy.lease is not None
+                     else trace.lease_time)
+            plan = (self._tenant_forward_plan(pid, local_index)
+                    if strategy.forwarding else None)
+            return self.tile.run_invocation(axc, trace, now, mlp,
+                                            lease=lease,
+                                            forward_plan=plan)
+        bound = self._tenant_bound[pid]
+        return bound.run(strategy, local_index, trace, now,
+                         axc=axc - self._axc_base[pid], mlp=mlp)
 
     def _interleaved(self):
         """Round-robin interleave of all processes' invocations."""
@@ -64,7 +134,8 @@ class MultiTenantFusionSystem:
         while remaining:
             for pid, workload in enumerate(self.workloads):
                 if cursors[pid] < len(workload.invocations):
-                    yield pid, workload.invocations[cursors[pid]]
+                    yield (pid, cursors[pid],
+                           workload.invocations[cursors[pid]])
                     cursors[pid] += 1
                     remaining -= 1
 
@@ -76,13 +147,13 @@ class MultiTenantFusionSystem:
                 now = self.host_cores[pid].produce(base, size, now)
         produce_snapshot = self.stats.snapshot()
         accel_start = now
-        for pid, trace in self._interleaved():
+        for pid, local_index, trace in self._interleaved():
             axc = (self._axc_base[pid]
                    + self.workloads[pid].axc_of(trace.name))
             mlp = self._mlp[pid].get(trace.name, 2.0)
             start_snapshot = self.stats.snapshot()
-            end = self.tile.run_invocation(axc, trace, now, mlp,
-                                           lease=trace.lease_time)
+            end = self._run_tenant_invocation(pid, local_index, trace,
+                                              now, axc, mlp)
             delta = self.stats.diff(start_snapshot)
             energy = sum(value for key, value in delta.items()
                          if key.endswith("energy_pj"))

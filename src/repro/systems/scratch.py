@@ -6,62 +6,24 @@ the DMA engine pushes exactly the blocks the window will read from the
 LLC, and after it drains exactly the dirty blocks back.  Data shared
 between accelerators ping-pongs through the host L2 — the pathological
 traffic Figure 6d quantifies (DMA kB many times the working set).
+
+The machinery lives in
+:class:`repro.coherence.strategy.BoundScratchpadDma`; this class is the
+static preset over it.
 """
 
-from ..accel.core import AxcCore
-from ..accel.replay import ScratchReplayAdapter
-from ..host.dma import OracleDmaController, ScratchpadAccessModel, \
-    windows_for
-from ..mem.scratchpad import Scratchpad
-from .base import BaseSystem
+from .preset import StrategyPresetSystem
 
 
-class ScratchSystem(BaseSystem):
+class ScratchSystem(StrategyPresetSystem):
     """Oracle-DMA scratchpad design (the paper's normalisation baseline)."""
 
     name = "SCRATCH"
+    strategy_key = "scratch"
 
-    def _build(self):
-        num_axcs = self.workload.num_axcs
-        self.scratchpads = [
-            Scratchpad(self.config.tile.scratchpad,
-                       name="sp{}".format(i))
-            for i in range(num_axcs)
-        ]
-        self.access_models = [
-            ScratchpadAccessModel(self.config, sp, self.stats)
-            for sp in self.scratchpads
-        ]
-        self.cores = [AxcCore(i, self.stats) for i in range(num_axcs)]
-        self.dma = OracleDmaController(self.config, self.host_mem,
-                                       self.page_table, self.stats)
-        # Push-based DMA double-buffers: half the scratchpad holds the
-        # live window while the other half stages the next transfer, so
-        # a window may only pin half the blocks.
-        blocks = self.config.tile.scratchpad.num_blocks
-        if self.config.dma.double_buffered:
-            blocks //= 2
-        self._capacity = max(1, blocks)
-
-    def _replay_adapter(self):
-        return ScratchReplayAdapter(self)
-
-    def _run_invocation(self, index, trace, now):
-        axc = self._axc_of(trace)
-        scratchpad = self.scratchpads[axc]
-        model = self.access_models[axc]
-        core = self.cores[axc]
-        mlp = self._mlp(trace)
-        windows = windows_for(trace, self._capacity)
-        self.stats.add("dma.windows", len(windows))
-        for window_index, window in enumerate(windows):
-            now += self.dma.transfer_in(window.in_blocks, scratchpad, now)
-            now = core.run(window.trace, now, model.access, mlp,
-                           charge_invocation=(window_index == 0),
-                           access_run=model.access_run,
-                           phase_quote=model.phase_quote,
-                           phase_quote_batch=model.phase_quote_batch,
-                           leased_phases=False)
-            dirty = scratchpad.drain()
-            now += self.dma.transfer_out(dirty, now)
-        return now
+    def _mirror(self, bound):
+        self.scratchpads = bound.scratchpads
+        self.access_models = bound.access_models
+        self.cores = bound.cores
+        self.dma = bound.dma
+        self._capacity = bound.capacity

@@ -6,40 +6,21 @@ tile switch to the banked shared cache, which participates in MESI as an
 ordinary L1.  Great at filtering the L2 (Lesson 1), but every access
 pays the switch + shared-cache latency and the request/response link
 energy (Lessons 2 and 4).
+
+The machinery lives in
+:class:`repro.coherence.strategy.BoundSharedL1X`; this class is the
+static preset over it.
 """
 
-from ..accel.core import AxcCore
-from ..accel.replay import SharedL1XReplayAdapter
-from ..coherence.shared_l1 import ISSUE_INTERVAL, SharedL1XController
-from ..interconnect.link import Link
-from .base import BaseSystem
+from .preset import StrategyPresetSystem
 
 
-class SharedSystem(BaseSystem):
+class SharedSystem(StrategyPresetSystem):
     """Shared-L1X design."""
 
     name = "SHARED"
+    strategy_key = "shared"
 
-    def _build(self):
-        self.l1x = SharedL1XController(self.config, self.host_mem,
-                                       self.page_table, self.stats)
-        self.l1x.axc_link = Link(
-            "axc_l1x", self.config.link.axc_l1x_pj_per_byte, self.stats)
-        self.host_mem.tile_agent = self.l1x
-        self.cores = [AxcCore(i, self.stats)
-                      for i in range(self.workload.num_axcs)]
-
-    def _replay_adapter(self):
-        if self.config.tile.model_bank_conflicts:
-            # Bank busy-until times are absolute; not replayable.
-            return None
-        return SharedL1XReplayAdapter(self)
-
-    def _run_invocation(self, index, trace, now):
-        core = self.cores[self._axc_of(trace)]
-        return core.run(trace, now, self.l1x.access, self._mlp(trace),
-                        issue_interval=ISSUE_INTERVAL,
-                        access_run=self.l1x.access_run,
-                        phase_quote=self.l1x.phase_quote,
-                        phase_quote_batch=self.l1x.phase_quote_batch,
-                        leased_phases=False)
+    def _mirror(self, bound):
+        self.l1x = bound.l1x
+        self.cores = bound.cores

@@ -133,6 +133,41 @@ def function_mlp(workload):
     return cached
 
 
+def invocation_features(workload):
+    """Per-invocation (reuse_distance, footprint_blocks) feature tuples.
+
+    ``reuse_distance`` is the distance, in invocations, back to the most
+    recent invocation that touched any of this invocation's blocks
+    (1 = the immediately preceding invocation; -1 = first touch — no
+    earlier invocation shares a block).  ``footprint_blocks`` is the
+    invocation's touched-block count.  These are the cheap reuse/
+    footprint signals the policy engine's bandit contexts bucket on
+    (HyDRA-style cacheability hints): tight reuse favours cache-based
+    strategies, first-touch streaming favours scratchpad DMA.
+
+    A pure function of the read-only workload trace, memoised on the
+    workload object like :func:`function_mlp`.
+    """
+    cached = workload.__dict__.get("_invocation_features")
+    if cached is None:
+        last_touch = {}
+        features = []
+        for index, trace in enumerate(workload.invocations):
+            blocks = trace.touched_blocks()
+            newest = -1
+            for block in blocks:
+                prior = last_touch.get(block, -1)
+                if prior > newest:
+                    newest = prior
+            reuse = index - newest if newest >= 0 else -1
+            features.append((reuse, len(blocks)))
+            for block in blocks:
+                last_touch[block] = index
+        cached = workload.__dict__["_invocation_features"] = \
+            tuple(features)
+    return cached
+
+
 def working_set_kb(workload):
     """Whole-application working set in kB (Figure 6d's WSet column)."""
     from ..common.units import LINE_SIZE

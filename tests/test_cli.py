@@ -184,14 +184,14 @@ def test_profile_phase_breakdown(fresh_engine, capsys):
                  "--phase", "--top", "5"]) == 0
     out = capsys.readouterr().out
     assert "phase breakdown (tottime):" in out
-    for phase in ("lowering", "phases", "vector", "replay", "protocol",
-                  "engine", "other"):
+    for phase in ("lowering", "phases", "vector", "replay", "policy",
+                  "protocol", "engine", "other"):
         assert phase in out
     # The simulation hot path spends real time in the protocol and
     # engine layers; the shares are percentages that sum to ~100.
     shares = [float(line.split("%")[0].split()[-1])
               for line in out.splitlines() if "%" in line and "s " in line]
-    assert len(shares) == 7
+    assert len(shares) == 8
     assert abs(sum(shares) - 100.0) < 0.5
 
 

@@ -107,7 +107,8 @@ def test_headline_builds():
 def test_all_experiments_registry_complete():
     assert set(experiments.ALL_EXPERIMENTS) == {
         "table1", "table2", "table3", "table4", "table5", "table6",
-        "fig6a", "fig6b", "fig6c", "fig6d", "fig7", "headline"}
+        "fig6a", "fig6b", "fig6c", "fig6d", "fig7", "headline",
+        "policy"}
 
 
 def test_geomean():

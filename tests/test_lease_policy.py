@@ -82,3 +82,108 @@ def test_adaptive_reduces_renewal_misses_end_to_end():
                    if k.startswith("l0x.axc") and k.endswith(".misses"))
 
     assert misses(adaptive) < misses(fixed)
+
+
+# -- CountingLeasePolicy (the policy subsystem's telemetry tap) --------------
+
+def test_counting_policy_delegates_and_counts():
+    from repro.coherence.lease_policy import CountingLeasePolicy
+    counts = {"renewal_misses": 0, "wasted_leases": 0}
+    policy = CountingLeasePolicy(AdaptiveLeasePolicy(num_sets=8),
+                                 counts)
+    assert policy.name == "adaptive"
+    policy.on_renewal_miss(2)
+    policy.on_renewal_miss(2)
+    policy.on_wasted_lease(5)
+    assert counts == {"renewal_misses": 2, "wasted_leases": 1}
+    # Arithmetic still the inner policy's: two misses doubled twice.
+    assert policy.lease_for(2, 100) == 400
+    assert policy.lease_for(5, 100) == 50
+    # The inner policy saw every event too.
+    assert policy.inner.renewal_misses == 2
+
+
+def test_counting_policy_owns_counts_when_not_shared():
+    from repro.coherence.lease_policy import CountingLeasePolicy
+    policy = CountingLeasePolicy(FixedLeasePolicy())
+    policy.on_wasted_lease(0)
+    assert policy.counts["wasted_leases"] == 1
+    assert policy.counts["renewal_misses"] == 0
+
+
+# -- lease-length edge cases (against a real L0X controller) -----------------
+
+def _counting_tile():
+    """A two-L0X tile whose first L0X counts lease events."""
+    from tests.test_acc import make_tile
+    from repro.coherence.lease_policy import CountingLeasePolicy
+    tile = make_tile()
+    counts = {"renewal_misses": 0, "wasted_leases": 0}
+    tile.l0xa.lease_policy = CountingLeasePolicy(
+        tile.l0xa.lease_policy, counts)
+    return tile, counts
+
+
+def test_zero_length_lease_expires_at_grant():
+    """A zero lease expires the moment the fill completes (the epoch
+    end is the *grant* time plus the lease): every later access is a
+    renewal miss, degenerating ACC to per-access L1X traffic — legal,
+    just slow."""
+    from tests.test_acc import load
+    tile, counts = _counting_tile()
+    latency = tile.l0xa.access(load(0x40), now=0, lease=0)
+    line = tile.l0xa.cache.lookup(0x40, touch=False)
+    assert line.lease <= latency            # dead on arrival
+    now = line.lease
+    for _ in range(3):
+        tile.l0xa.access(load(0x40), now=now, lease=0)
+        now = tile.l0xa.cache.lookup(0x40, touch=False).lease
+    assert tile.stats.get("l0x.axc0.hits") == 0
+    assert tile.stats.get("l0x.axc0.misses") == 4
+    assert counts["renewal_misses"] == 3   # every re-request, post-cold
+
+
+def test_renewal_exactly_at_epoch_boundary_is_a_miss():
+    """``line.lease > now`` is strict: an access in the very cycle the
+    epoch ends must take the renewal path (self-downgrade + re-acquire),
+    not ride the stale lease."""
+    from tests.test_acc import load
+    tile, counts = _counting_tile()
+    tile.l0xa.access(load(0x40), now=0, lease=500)
+    line = tile.l0xa.cache.lookup(0x40, touch=False)
+    end = line.lease
+    tile.l0xa.access(load(0x44), now=end - 1, lease=500)  # last cycle
+    assert tile.stats.get("l0x.axc0.hits") == 1
+    assert counts["renewal_misses"] == 0
+    tile.l0xa.access(load(0x48), now=end, lease=500)      # boundary
+    assert tile.stats.get("l0x.axc0.misses") == 2
+    assert counts["renewal_misses"] == 1
+
+
+def test_lease_longer_than_invocation_never_renews():
+    """A lease outlasting the whole invocation yields zero renewal
+    misses end-to-end (the other extreme of the lease tradeoff)."""
+    from repro.common.config import small_config
+    from repro.systems import SYSTEMS
+    from repro.workloads.registry import build_workload
+    config = small_config().with_policy(
+        selector="schedule", schedule=("fusion:lease=1000000000",))
+    system = SYSTEMS["POLICY"](config, build_workload("fft", "tiny"))
+    system.run()
+    assert sum(r.lease_expiries for r in system.telemetry) == 0
+    # The short-lease extreme on the same workload renews constantly.
+    short = SYSTEMS["POLICY"](
+        small_config().with_policy(selector="schedule",
+                                   schedule=("fusion:lease=1",)),
+        build_workload("fft", "tiny"))
+    short.run()
+    assert sum(r.lease_expiries for r in short.telemetry) > 0
+
+
+def test_adaptive_policy_with_zero_default_lease_stays_zero():
+    """Doubling a zero lease is still zero — the adaptive policy cannot
+    rescue a degenerate base lease (it scales, never adds)."""
+    policy = AdaptiveLeasePolicy(num_sets=4)
+    policy.on_renewal_miss(0)
+    policy.on_renewal_miss(0)
+    assert policy.lease_for(0, 0) == 0

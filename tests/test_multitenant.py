@@ -73,3 +73,65 @@ def test_multitenant_costs_more_than_sum_of_parts():
                         build_workload("adpcm", "tiny")).run()
     pair = run_mt(["adpcm", "filter"])
     assert pair.accel_cycles > solo.accel_cycles
+
+
+# -- per-tenant coherence strategies (multitenant strategy handoff) ----------
+
+def run_mt_strategies(names, strategies, size="tiny"):
+    workloads = [build_workload(name, size) for name in names]
+    return MultiTenantFusionSystem(small_config(), workloads,
+                                   strategies=strategies).run()
+
+
+def test_uniform_fusion_strategies_match_default_bit_for_bit():
+    """Handing every tenant the plain fusion strategy must be the
+    legacy multi-tenant path exactly — same cycles, same stats."""
+    default = run_mt(["adpcm", "filter"])
+    explicit = run_mt_strategies(["adpcm", "filter"],
+                                 ("fusion", "fusion"))
+    assert explicit == default
+
+
+def test_strategies_length_must_match_workloads():
+    workloads = [build_workload("adpcm", "tiny")]
+    with pytest.raises(ValueError, match="1 workloads"):
+        MultiTenantFusionSystem(small_config(), workloads,
+                                strategies=("fusion", "scratch"))
+
+
+def test_per_tenant_lease_changes_behaviour():
+    default = run_mt(["adpcm", "filter"])
+    leased = run_mt_strategies(["adpcm", "filter"],
+                               ("fusion", "fusion:lease=100"))
+    assert leased.accel_cycles > 0
+    assert leased.stats != default.stats
+
+
+def test_scratch_tenant_beside_fusion_tenant():
+    """One tenant on scratchpad DMA, one on the leased tile: the DMA
+    tenant's traffic flows and the tile tenant still leases — on one
+    host directory."""
+    result = run_mt_strategies(["adpcm", "filter"],
+                               ("fusion", "scratch"))
+    assert result.accel_cycles > 0
+    assert result.stat("dma.bytes_in") > 0        # scratch tenant ran
+    assert result.stat("l1x.accesses") > 0        # fusion tenant ran
+    expected = set(build_workload("adpcm", "tiny").function_names()) | \
+        set(build_workload("filter", "tiny").function_names())
+    assert set(result.function_names()) == expected
+
+
+def test_shared_tenant_beside_fusion_dx_tenant():
+    result = run_mt_strategies(["fft", "adpcm"],
+                               ("fusion-dx", "shared"))
+    assert result.accel_cycles > 0
+    assert result.stat("l0x.axc0.lines_forwarded") > 0  # dx forwards
+    assert result.stat("mesi.fwd_to_tile") > 0  # shared tenant recalls
+
+
+def test_mixed_tenants_keep_pid_isolation():
+    """The PID-conflict counter still fires for the tile-resident
+    tenant when the other tenant lives off-tile."""
+    result = run_mt_strategies(["adpcm", "filter"],
+                               ("fusion", "fusion:lease=200"))
+    assert result.stat("l1x.pid_conflicts") > 0
